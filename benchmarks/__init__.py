@@ -1,0 +1,1 @@
+"""Benchmark harnesses reproducing the paper's tables and figures."""

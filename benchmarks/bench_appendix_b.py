@@ -1,0 +1,55 @@
+"""Appendix B — the isomorphic PM and PME deposition workloads.
+
+Appendix B of the paper argues that the Matrix-PIC optimisations transfer
+unchanged to the mass-deposition step of particle-mesh N-body codes and the
+charge-assignment step of particle-mesh-Ewald molecular dynamics, because
+all three share the same scatter-add pattern.  This harness measures the
+two isomorphic deposition steps of the workload implementations and checks
+their conservation properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.nbody_pm import ParticleMeshGravity
+from repro.workloads.pme import PMEChargeAssignment
+
+
+def run_pm_deposition(n_particles: int = 20_000):
+    pm = ParticleMeshGravity(n_cell=(32, 32, 32), box_size=1.0, shape_order=1)
+    positions, _, masses = pm.random_particles(n_particles, seed=1)
+    rho = pm.deposit_mass(positions, masses)
+    return pm, rho, masses
+
+
+def run_pme_assignment(n_atoms: int = 20_000):
+    pme = PMEChargeAssignment(n_cell=(32, 32, 32), shape_order=3)
+    positions, charges = pme.random_molecule(n_atoms, seed=2)
+    rho = pme.assign_charges(positions, charges)
+    return pme, rho, charges
+
+
+def test_appendix_b_pm_mass_deposition(benchmark, print_header):
+    pm, rho, masses = benchmark.pedantic(run_pm_deposition, rounds=1,
+                                         iterations=1)
+    total = rho.sum() * np.prod(pm.cell_size)
+    print_header("Appendix B: PM mass deposition (N-body gravity substrate)")
+    print(f"particles deposited: {masses.size}")
+    print(f"deposited mass / particle mass sum: {total / masses.sum():.12f}")
+    benchmark.extra_info["mass_conservation"] = total / masses.sum()
+    np.testing.assert_allclose(total, masses.sum(), rtol=1e-12)
+
+
+def test_appendix_b_pme_charge_assignment(benchmark, print_header):
+    pme, rho, charges = benchmark.pedantic(run_pme_assignment, rounds=1,
+                                           iterations=1)
+    total = pme.total_mesh_charge(rho)
+    energy = pme.reciprocal_energy(rho)
+    print_header("Appendix B: PME charge assignment (molecular dynamics substrate)")
+    print(f"atoms assigned: {charges.size}")
+    print(f"net mesh charge [C]: {total:.3e} (input {charges.sum():.3e})")
+    print(f"reciprocal-space Ewald energy [J]: {energy:.3e}")
+    benchmark.extra_info["reciprocal_energy"] = energy
+    np.testing.assert_allclose(total, charges.sum(), atol=1e-22)
+    assert energy >= 0.0

@@ -1,0 +1,59 @@
+"""Figure 10 — ablation study of the MatrixPIC components.
+
+The ablation compares the Baseline against the intermediate designs
+(Matrix-only, Hybrid-noSort, Hybrid-GlobalSort) and the fully integrated
+framework (FullOpt) across the PPC scan.  The paper's qualitative findings:
+
+* the fully integrated FullOpt configuration delivers the best (or
+  near-best) kernel time and throughput across the scan,
+* Hybrid-GlobalSort is penalised by the cost of a non-incremental global
+  sort every timestep,
+* the MPU-based no-sort variants beat the baseline at high density but
+  cannot match the sorted hybrid design.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import sweep_configurations
+from repro.analysis.tables import format_series_table
+from repro.baselines.configs import ABLATION_CONFIGS
+
+from .conftest import BENCH_STEPS, uniform_workload
+
+ABLATION_PPC = (8, 64, 128)
+
+
+def run_ablation():
+    kernel_time = {}
+    throughput = {}
+    for ppc in ABLATION_PPC:
+        workload = uniform_workload(ppc=ppc)
+        results = sweep_configurations(workload, ABLATION_CONFIGS,
+                                       steps=BENCH_STEPS)
+        kernel_time[ppc] = {name: r.timing.total for name, r in results.items()}
+        throughput[ppc] = {name: r.throughput for name, r in results.items()}
+    return kernel_time, throughput
+
+
+def test_fig10_ablation(benchmark, print_header):
+    kernel_time, throughput = benchmark.pedantic(run_ablation, rounds=1,
+                                                 iterations=1)
+
+    print_header("Figure 10: ablation study — kernel time per configuration")
+    print(format_series_table(kernel_time, "modelled kernel seconds"))
+    print()
+    print(format_series_table(throughput, "particles per modelled second"))
+
+    for ppc, row in kernel_time.items():
+        best = min(row, key=row.get)
+        benchmark.extra_info[f"best_ppc{ppc}"] = best
+        print(f"best configuration at PPC={ppc}: {best}")
+
+    high = kernel_time[128]
+    # FullOpt is the best (or within 5 % of the best) design at high density
+    assert high["MatrixPIC (FullOpt)"] <= 1.05 * min(high.values())
+    # sorting every step costs more than sorting incrementally
+    assert high["Hybrid-GlobalSort"] > high["MatrixPIC (FullOpt)"]
+    # the MPU designs beat the baseline once density is high enough
+    assert high["Hybrid-noSort"] < high["Baseline"]
+    assert high["Matrix-only"] < high["Baseline"]

@@ -1,0 +1,42 @@
+"""Figure 1 — runtime breakdown of a uniform-plasma PIC run.
+
+The paper's Figure 1 shows that on a many-core CPU the deposition step
+alone accounts for more than 40 % of the total runtime of a WarpX uniform
+plasma simulation (particle gather + deposition together exceed 80 %).
+This harness runs the plain reference simulation loop and prints the same
+stage breakdown from wall-clock timers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import run_simulation_experiment
+from repro.analysis.tables import format_breakdown_table
+
+from .conftest import uniform_workload
+
+
+def run_breakdown(ppc: int = 64, steps: int = 3):
+    workload = uniform_workload(ppc=ppc, max_steps=steps)
+    simulation = run_simulation_experiment(workload, steps=steps)
+    return simulation.breakdown
+
+
+def test_fig1_runtime_breakdown(benchmark, print_header):
+    breakdown = benchmark.pedantic(run_breakdown, rounds=1, iterations=1)
+    fractions = breakdown.fractions()
+
+    print_header("Figure 1: runtime breakdown, uniform plasma (PPC=64)")
+    print(format_breakdown_table(dict(breakdown.seconds)))
+    deposition_fraction = fractions.get("current_deposition", 0.0)
+    particle_fraction = deposition_fraction + fractions.get("field_gather_push", 0.0)
+    print(f"deposition fraction of total: {100 * deposition_fraction:.1f}% "
+          "(paper: >40%)")
+    print(f"gather+push+deposition fraction: {100 * particle_fraction:.1f}% "
+          "(paper: >80%)")
+
+    benchmark.extra_info["deposition_fraction"] = deposition_fraction
+    benchmark.extra_info["particle_fraction"] = particle_fraction
+
+    # the qualitative claim of Figure 1: particle-grid work dominates the loop
+    assert deposition_fraction > 0.25
+    assert particle_fraction > 0.5

@@ -1,0 +1,66 @@
+"""Figure 8 — overall performance on the uniform-plasma workload.
+
+Panel (a) of Figure 8 compares total wall time, deposition-kernel time and
+particle throughput of MatrixPIC against the WarpX baseline across the PPC
+density scan; panel (b) shows the normalised kernel-time breakdown.  This
+harness regenerates both series from the modelled kernel timings.
+
+Expected shape (paper §6.1): MatrixPIC loses to the baseline at PPC = 1
+(framework overheads are not amortised), wins from roughly 8 particles per
+cell upward, and the advantage grows with density.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import sweep_configurations
+from repro.analysis.tables import format_series_table, speedup_series
+
+from .conftest import BENCH_STEPS, PPC_SWEEP, uniform_workload
+
+CONFIGS = ("Baseline", "MatrixPIC (FullOpt)")
+
+
+def run_ppc_sweep():
+    kernel_time = {}
+    throughput = {}
+    breakdown = {}
+    for ppc in PPC_SWEEP:
+        workload = uniform_workload(ppc=ppc)
+        results = sweep_configurations(workload, CONFIGS, steps=BENCH_STEPS)
+        kernel_time[ppc] = {name: r.timing.total for name, r in results.items()}
+        throughput[ppc] = {name: r.throughput for name, r in results.items()}
+        matrix = results["MatrixPIC (FullOpt)"].timing
+        total = matrix.total or 1.0
+        breakdown[ppc] = {
+            "compute": matrix.compute / total,
+            "preprocess": matrix.preprocess / total,
+            "sort": matrix.sort / total,
+        }
+    return kernel_time, throughput, breakdown
+
+
+def test_fig8_uniform_plasma_sweep(benchmark, print_header):
+    kernel_time, throughput, breakdown = benchmark.pedantic(
+        run_ppc_sweep, rounds=1, iterations=1)
+
+    print_header("Figure 8(a): deposition kernel time and throughput vs PPC")
+    print(format_series_table(kernel_time, "modelled kernel seconds"))
+    print()
+    print(format_series_table(throughput, "particles per modelled second"))
+    print()
+    print_header("Figure 8(b): normalised MatrixPIC kernel-time breakdown")
+    print(format_series_table(breakdown, "fraction of kernel time"))
+
+    speedups = speedup_series(kernel_time, "Baseline", "MatrixPIC (FullOpt)")
+    print()
+    print("MatrixPIC speedup over Baseline per PPC:",
+          {ppc: round(s, 2) for ppc, s in speedups.items()})
+    for ppc, value in speedups.items():
+        benchmark.extra_info[f"speedup_ppc{ppc}"] = value
+
+    # shape checks from the paper: overheads dominate at PPC=1, the
+    # high-density regime favours MatrixPIC, and the advantage grows with PPC
+    assert speedups[1] < 1.3
+    assert speedups[64] > 1.0
+    assert speedups[128] > 1.0
+    assert speedups[128] > speedups[1]

@@ -1,0 +1,66 @@
+"""Table 3 — cross-platform kernel efficiency (% of theoretical FP64 peak).
+
+The paper's cross-platform study runs the QSP kernel at PPC = 512 and
+credits every implementation only with the canonical 419 FLOPs per particle
+while charging it for its full kernel time.  Expected shape:
+
+* the direct CPU baseline reaches only ~10 % of peak,
+* the hand-tuned VPU kernel with incremental sorting reaches ~55 %,
+* MatrixPIC reaches ~83 %, roughly 2.8x the efficiency of the WarpX CUDA
+  kernel on an A800 (~30 %).
+
+The harness uses a PPC of 64 (the Python substrate cannot hold 512
+particles per cell in reasonable time); efficiency is a per-particle ratio,
+so the regime is representative — EXPERIMENTS.md records the deviation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import peak_efficiency_percent
+from repro.analysis.runner import sweep_configurations
+from repro.analysis.tables import format_efficiency_table
+from repro.baselines.gpu_model import GPUDepositionModel
+from repro.hardware.cost_model import CostModel
+
+from .conftest import BENCH_STEPS, uniform_workload
+
+LX2_CONFIGS = ("Baseline", "Rhocell+IncrSort (VPU)", "MatrixPIC (FullOpt)")
+EFFICIENCY_PPC = 64
+
+
+def run_table3():
+    cost_model = CostModel()
+    workload = uniform_workload(ppc=EFFICIENCY_PPC, shape_order=3)
+    results = sweep_configurations(workload, LX2_CONFIGS, steps=BENCH_STEPS,
+                                   cost_model=cost_model)
+    efficiencies = {
+        f"LX2 CPU / {name}": peak_efficiency_percent(cost_model, r.timing)
+        for name, r in results.items()
+    }
+    gpu = GPUDepositionModel()
+    efficiencies["NVIDIA A800 / Baseline (CUDA)"] = 100.0 * gpu.peak_efficiency(
+        num_particles=10_000_000, order=3, particles_per_cell=512)
+    return efficiencies
+
+
+def test_table3_cross_platform_efficiency(benchmark, print_header):
+    efficiencies = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+
+    print_header("Table 3: cross-platform kernel efficiency (% of FP64 peak), QSP")
+    print(format_efficiency_table(efficiencies))
+    for name, value in efficiencies.items():
+        benchmark.extra_info[name] = value
+
+    lx2_matrix = efficiencies["LX2 CPU / MatrixPIC (FullOpt)"]
+    lx2_vpu = efficiencies["LX2 CPU / Rhocell+IncrSort (VPU)"]
+    lx2_base = efficiencies["LX2 CPU / Baseline"]
+    a800 = efficiencies["NVIDIA A800 / Baseline (CUDA)"]
+
+    # Table 3 orderings: MatrixPIC > hand-tuned VPU > A800 CUDA > LX2 baseline
+    assert lx2_matrix > lx2_vpu > lx2_base
+    assert lx2_vpu > a800 * 0.9
+    assert lx2_base < a800
+    # headline claim C5: MatrixPIC is a multiple of the CUDA kernel's
+    # efficiency (paper: 2.8x) and far above the CPU baseline
+    assert lx2_matrix > 1.5 * a800
+    assert lx2_matrix > 5.0 * lx2_base

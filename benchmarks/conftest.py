@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section at a reduced problem size (the pure-Python substrate cannot run the
+paper's 30-million-cell domains).  The numbers printed by each harness are
+*modelled* LX2 kernel seconds from the cost model — the quantity the
+EXPERIMENTS.md comparison uses — while pytest-benchmark records the Python
+wall-clock of the harness itself as a regression guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.lwfa import LWFAWorkload
+from repro.workloads.uniform import UniformPlasmaWorkload
+
+#: grid used by the kernel-study benchmarks (one 8x8x8 tile, as in Table 4)
+BENCH_N_CELL = (8, 8, 8)
+BENCH_TILE = (8, 8, 8)
+#: measured steps per configuration (after one warm-up step)
+BENCH_STEPS = 2
+#: PPC sweep of Figures 8-10 (the paper's scan, Appendix A)
+PPC_SWEEP = (1, 8, 64, 128)
+
+
+def uniform_workload(ppc: int, shape_order: int = 1,
+                     max_steps: int = BENCH_STEPS) -> UniformPlasmaWorkload:
+    """The uniform-plasma workload at benchmark scale."""
+    return UniformPlasmaWorkload(n_cell=BENCH_N_CELL, tile_size=BENCH_TILE,
+                                 ppc=ppc, shape_order=shape_order,
+                                 max_steps=max_steps)
+
+
+def lwfa_workload(ppc: int, max_steps: int = BENCH_STEPS) -> LWFAWorkload:
+    """The LWFA workload at benchmark scale."""
+    return LWFAWorkload(n_cell=(8, 8, 32), tile_size=(8, 8, 16), ppc=ppc,
+                        max_steps=max_steps)
+
+
+@pytest.fixture
+def print_header(request):
+    """Print a banner naming the artifact a benchmark reproduces."""
+
+    def _print(title: str) -> None:
+        print()
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+
+    return _print

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Appendix B: particle-mesh N-body gravity with the shared deposition core.
+
+The paper argues (Appendix B) that the Matrix-PIC deposition pattern is
+isomorphic to the mass-deposition step of particle-mesh N-body codes.  This
+example uses the library's shape functions for cosmological mass deposition,
+solves the periodic Poisson equation with an FFT, and evolves a small
+self-gravitating particle cloud for a few leap-frog steps, reporting mass
+conservation and the collapse of the cloud.
+
+Run with:  python examples/nbody_pm_gravity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.nbody_pm import ParticleMeshGravity
+
+
+def radius_of_gyration(positions: np.ndarray, box: float) -> float:
+    center = np.array([box / 2.0] * 3)
+    return float(np.sqrt(np.mean(np.sum((positions - center) ** 2, axis=1))))
+
+
+def main() -> None:
+    pm = ParticleMeshGravity(n_cell=(32, 32, 32), box_size=1.0, shape_order=1)
+    rng = np.random.default_rng(7)
+
+    # a compact Gaussian cloud of massive particles at the box centre
+    n = 5_000
+    positions = 0.5 + rng.normal(0.0, 0.06, (n, 3))
+    positions = np.mod(positions, 1.0)
+    velocities = np.zeros_like(positions)
+    masses = np.full(n, 1.0e13 / n)
+
+    rho = pm.deposit_mass(positions, masses)
+    cell_volume = float(np.prod(pm.cell_size))
+    print("== PM mass deposition (the PIC-isomorphic scatter-add) ==")
+    print(f"particles:                 {n}")
+    print(f"grid:                      {pm.n_cell}")
+    print(f"deposited / input mass:    {rho.sum() * cell_volume / masses.sum():.12f}")
+    print(f"peak overdensity:          {rho.max() / rho.mean():.1f}x the mean")
+
+    print("\n== leap-frog evolution under self-gravity ==")
+    # a small fraction of the cloud's dynamical time 1/sqrt(G rho)
+    dt = 2.0e-4
+    r0 = radius_of_gyration(positions, pm.box_size)
+    print(f"{'step':>4s} {'radius of gyration':>20s} {'total mass error':>18s}")
+    for step in range(8):
+        positions, velocities, rho = pm.step(positions, velocities, masses, dt)
+        radius = radius_of_gyration(positions, pm.box_size)
+        mass_error = abs(rho.sum() * cell_volume - masses.sum()) / masses.sum()
+        print(f"{step:4d} {radius:20.5f} {mass_error:18.2e}")
+
+    r_final = radius_of_gyration(positions, pm.box_size)
+    print(f"\nthe cloud contracts under its own gravity: "
+          f"{r0:.4f} -> {r_final:.4f} (box units)")
+    print("The deposition step exercised here shares its shape functions and")
+    print("scatter-add structure with the PIC current deposition that")
+    print("Matrix-PIC maps onto the MPU (paper Appendix B.2.2).")
+
+
+if __name__ == "__main__":
+    main()

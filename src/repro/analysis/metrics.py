@@ -1,0 +1,109 @@
+"""Performance metrics used in the paper's evaluation (§5.2.2).
+
+* **Wall time** — average execution time per step (here: modelled seconds
+  from the cost model for kernel studies, and Python wall-clock for the
+  stage breakdowns of Figure 1).
+* **Deposition kernel time** — the complete kernel including data
+  preparation, sorting and the rhocell reduction.
+* **Particles per second** — ``N_particles / T_deposition``.
+* **Speedup** — ``T_baseline / T_optimized``.
+* **Percent of theoretical peak** — effective FLOPs of the canonical scalar
+  algorithm divided by (kernel time x hardware peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hardware.cost_model import CostModel, KernelTiming
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of running one configuration on one workload setting."""
+
+    configuration: str
+    ppc: int
+    shape_order: int
+    num_particles: int
+    steps: int
+    #: modelled kernel timing accumulated over all measured steps
+    timing: KernelTiming
+    #: Python wall-clock of the measured steps [s] (interpreter time; used
+    #: only as a sanity signal, never compared against the paper)
+    wall_seconds: float = 0.0
+    #: wall-clock seconds per simulation stage (Figure 1 style breakdown)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def kernel_seconds(self) -> float:
+        """Total modelled deposition-kernel seconds."""
+        return self.timing.total
+
+    @property
+    def kernel_seconds_per_step(self) -> float:
+        """Modelled deposition seconds per step."""
+        if self.steps == 0:
+            return 0.0
+        return self.timing.total / self.steps
+
+    @property
+    def throughput(self) -> float:
+        """Deposition throughput in particles per modelled second."""
+        return particles_per_second(self.num_particles * self.steps,
+                                    self.timing.total)
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for table formatting."""
+        row = {
+            "configuration": self.configuration,
+            "ppc": self.ppc,
+            "order": self.shape_order,
+            "particles": self.num_particles,
+            "steps": self.steps,
+            "total_s": self.timing.total,
+            "preprocess_s": self.timing.preprocess,
+            "compute_s": self.timing.compute,
+            "sort_s": self.timing.sort,
+            "throughput_p_per_s": self.throughput,
+        }
+        row.update(self.extra)
+        return row
+
+
+def speedup(reference_seconds: float, optimized_seconds: float) -> float:
+    """Relative performance ``T_reference / T_optimized``."""
+    if optimized_seconds <= 0.0:
+        return float("inf")
+    return reference_seconds / optimized_seconds
+
+
+def particles_per_second(num_particles: int, kernel_seconds: float) -> float:
+    """Deposition throughput; zero when no time was recorded."""
+    if kernel_seconds <= 0.0:
+        return 0.0
+    return num_particles / kernel_seconds
+
+
+def peak_efficiency_percent(cost_model: CostModel, timing: KernelTiming,
+                            reference: str = "vpu") -> float:
+    """Percent of theoretical peak FP64 (Table 3 metric)."""
+    return 100.0 * cost_model.peak_efficiency(timing, reference=reference)
+
+
+def crossover_ppc(results_by_ppc: Dict[int, Dict[str, ExperimentResult]],
+                  optimized: str, baseline: str) -> Optional[int]:
+    """Lowest PPC at which ``optimized`` beats ``baseline`` (or None).
+
+    Used by the experiment checks: the paper reports that MatrixPIC falls
+    behind the baseline below roughly 8 particles per cell and wins above.
+    """
+    for ppc in sorted(results_by_ppc):
+        rows = results_by_ppc[ppc]
+        if optimized not in rows or baseline not in rows:
+            continue
+        if rows[optimized].kernel_seconds < rows[baseline].kernel_seconds:
+            return ppc
+    return None

@@ -1,0 +1,123 @@
+"""Experiment runners shared by the benchmarks, examples and tests.
+
+Two levels are provided:
+
+* :func:`run_deposition_experiment` — run one named configuration on one
+  workload for a number of steps and return an
+  :class:`~repro.analysis.metrics.ExperimentResult` with the modelled
+  kernel timing (this is what Tables 1-3 and Figures 8-10 are built from),
+* :func:`run_simulation_experiment` — run the plain simulation loop with
+  the reference kernel and return the wall-clock stage breakdown
+  (Figure 1).
+
+``sweep_configurations`` maps a list of configuration names over a
+workload, reusing one simulation state per configuration so that every
+kernel sees the same particle distribution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.metrics import ExperimentResult
+from repro.baselines.configs import make_strategy
+from repro.config import SortingPolicyConfig
+from repro.hardware.cost_model import CostModel
+from repro.hardware.counters import KernelCounters
+from repro.pic.simulation import Simulation
+
+
+def run_deposition_experiment(workload, configuration: str, *,
+                              steps: Optional[int] = None,
+                              cost_model: Optional[CostModel] = None,
+                              sorting_config: Optional[SortingPolicyConfig] = None,
+                              scramble: bool = True,
+                              warmup_steps: int = 1) -> ExperimentResult:
+    """Run one configuration on one workload and collect its kernel timing.
+
+    Parameters
+    ----------
+    workload:
+        A workload builder exposing ``build_simulation`` and the attributes
+        ``ppc``, ``shape_order`` and ``max_steps`` (both
+        :class:`~repro.workloads.uniform.UniformPlasmaWorkload` and
+        :class:`~repro.workloads.lwfa.LWFAWorkload` qualify).
+    configuration:
+        A name accepted by :func:`repro.baselines.configs.make_strategy`.
+    steps:
+        Steps to measure (defaults to the workload's ``max_steps``).
+    scramble:
+        Scramble the initial particle order when the workload supports it,
+        so no-sort configurations see the unordered layout the paper's
+        baselines operate on.
+    warmup_steps:
+        Steps run before measurement starts (counters are discarded).  The
+        default of one step mirrors the paper's warm-up phase (§5.2.2) and
+        keeps one-off costs — the initial global sort of the sorted
+        configurations — out of the per-step kernel numbers.
+    """
+    cost_model = cost_model if cost_model is not None else CostModel()
+    strategy = make_strategy(configuration, sorting_config=sorting_config,
+                             cost_model=cost_model)
+    simulation = workload.build_simulation(deposition=strategy)
+    if scramble and hasattr(workload, "scramble_particles"):
+        workload.scramble_particles(simulation)
+
+    for _ in range(warmup_steps):
+        simulation.step()
+    simulation.deposition_counters = KernelCounters()
+
+    n_steps = workload.max_steps if steps is None else steps
+    start = time.perf_counter()
+    for _ in range(n_steps):
+        simulation.step()
+    wall = time.perf_counter() - start
+
+    timing = cost_model.timing(simulation.deposition_counters)
+    shape_order = getattr(workload, "shape_order", simulation.config.shape_order)
+    return ExperimentResult(
+        configuration=configuration,
+        ppc=getattr(workload, "ppc", 0),
+        shape_order=shape_order,
+        num_particles=simulation.num_particles,
+        steps=n_steps,
+        timing=timing,
+        wall_seconds=wall,
+        stage_seconds=dict(simulation.breakdown.seconds),
+        extra={
+            "effective_flops": simulation.deposition_counters.effective_flops,
+            "global_sorts": float(getattr(strategy, "global_sorts_performed", 0)),
+        },
+    )
+
+
+def sweep_configurations(workload, configurations: Iterable[str], *,
+                         steps: Optional[int] = None,
+                         cost_model: Optional[CostModel] = None,
+                         sorting_config: Optional[SortingPolicyConfig] = None,
+                         scramble: bool = True,
+                         warmup_steps: int = 1) -> Dict[str, ExperimentResult]:
+    """Run several configurations on the same workload definition."""
+    results: Dict[str, ExperimentResult] = {}
+    for name in configurations:
+        results[name] = run_deposition_experiment(
+            workload, name, steps=steps, cost_model=cost_model,
+            sorting_config=sorting_config, scramble=scramble,
+            warmup_steps=warmup_steps,
+        )
+    return results
+
+
+def run_simulation_experiment(workload, *, steps: Optional[int] = None
+                              ) -> Simulation:
+    """Run the plain (reference-kernel) simulation loop of a workload.
+
+    Returns the finished :class:`Simulation`; its ``breakdown`` attribute
+    holds the per-stage wall-clock seconds used for the Figure-1 style
+    runtime breakdown.
+    """
+    simulation = workload.build_simulation()
+    n_steps = workload.max_steps if steps is None else steps
+    simulation.run(n_steps)
+    return simulation

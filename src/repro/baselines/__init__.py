@@ -1,0 +1,28 @@
+"""Evaluation configurations: ablation variants, VPU baselines, GPU model.
+
+:mod:`repro.baselines.configs` builds the named deposition strategies used
+throughout §6 of the paper (Baseline, Baseline+IncrSort, Rhocell,
+Rhocell+IncrSort, Rhocell+IncrSort (VPU), Matrix-only, Hybrid-noSort,
+Hybrid-GlobalSort, MatrixPIC/FullOpt) and
+:mod:`repro.baselines.gpu_model` provides the analytic model of the WarpX
+CUDA kernel on an NVIDIA A800 used in the Table 3 cross-platform
+comparison.
+"""
+
+from repro.baselines.configs import (
+    ABLATION_CONFIGS,
+    CIC_COMPARISON_CONFIGS,
+    QSP_COMPARISON_CONFIGS,
+    available_configurations,
+    make_strategy,
+)
+from repro.baselines.gpu_model import GPUDepositionModel
+
+__all__ = [
+    "make_strategy",
+    "available_configurations",
+    "ABLATION_CONFIGS",
+    "CIC_COMPARISON_CONFIGS",
+    "QSP_COMPARISON_CONFIGS",
+    "GPUDepositionModel",
+]

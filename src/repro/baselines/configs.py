@@ -1,0 +1,129 @@
+"""Named evaluation configurations of the paper's §6.
+
+Every configuration is a :class:`~repro.core.framework.MatrixPICDeposition`
+strategy combining one deposition kernel with one sorting mode:
+
+===========================  ==============================  ==================
+Configuration                Kernel                          Sorting
+===========================  ==============================  ==================
+Baseline                     WarpX direct (auto-vec)         none
+Baseline+IncrSort            WarpX direct (auto-vec)         incremental
+Rhocell                      rhocell, auto-vectorised        none
+Rhocell+IncrSort             rhocell, auto-vectorised        incremental
+Rhocell+IncrSort (VPU)       rhocell, hand-tuned VPU         incremental
+Matrix-only                  MPU arithmetic, naive staging   none
+Hybrid-noSort                hybrid VPU-MPU                  none
+Hybrid-GlobalSort            hybrid VPU-MPU                  global every step
+MatrixPIC (FullOpt)          hybrid VPU-MPU                  incremental + policy
+===========================  ==============================  ==================
+
+The first block (ablation study, Figure 10) and the second block
+(comparative study, Tables 1 and 2) are exposed as ordered name lists so
+the benchmark harnesses can iterate them in the paper's order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.config import SortingPolicyConfig
+from repro.core.framework import (
+    MatrixPICDeposition,
+    SORT_GLOBAL_EVERY_STEP,
+    SORT_INCREMENTAL,
+    SORT_NONE,
+)
+from repro.core.hybrid_kernel import HybridMPUDeposition
+from repro.hardware.cost_model import CostModel
+from repro.pic.deposition.baseline import BaselineDeposition
+from repro.pic.deposition.rhocell import RhocellDeposition
+
+#: Ablation study configurations (Figure 10), in the paper's order.
+ABLATION_CONFIGS: Tuple[str, ...] = (
+    "Baseline",
+    "Matrix-only",
+    "Hybrid-noSort",
+    "Hybrid-GlobalSort",
+    "MatrixPIC (FullOpt)",
+)
+
+#: First-order comparative study configurations (Table 1).
+CIC_COMPARISON_CONFIGS: Tuple[str, ...] = (
+    "Baseline",
+    "Baseline+IncrSort",
+    "Rhocell",
+    "Rhocell+IncrSort",
+    "Rhocell+IncrSort (VPU)",
+    "MatrixPIC (FullOpt)",
+)
+
+#: Third-order comparative study configurations (Table 2).
+QSP_COMPARISON_CONFIGS: Tuple[str, ...] = (
+    "Baseline",
+    "Baseline+IncrSort",
+    "Rhocell+IncrSort (VPU)",
+    "MatrixPIC (FullOpt)",
+)
+
+_ALL_CONFIGS = (
+    "Baseline",
+    "Baseline+IncrSort",
+    "Rhocell",
+    "Rhocell+IncrSort",
+    "Rhocell+IncrSort (VPU)",
+    "Matrix-only",
+    "Hybrid-noSort",
+    "Hybrid-GlobalSort",
+    "MatrixPIC (FullOpt)",
+)
+
+
+def available_configurations() -> Tuple[str, ...]:
+    """Names accepted by :func:`make_strategy`."""
+    return _ALL_CONFIGS
+
+
+def make_strategy(name: str,
+                  sorting_config: Optional[SortingPolicyConfig] = None,
+                  cost_model: Optional[CostModel] = None
+                  ) -> MatrixPICDeposition:
+    """Build the named deposition strategy.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_configurations`.
+    sorting_config:
+        Adaptive sorting-policy parameters (Appendix A defaults when None).
+    cost_model:
+        Cost model used for the performance-degradation sorting trigger.
+    """
+    sorting_config = sorting_config if sorting_config is not None else SortingPolicyConfig()
+    cost_model = cost_model if cost_model is not None else CostModel()
+
+    def build(kernel, sort_mode):
+        return MatrixPICDeposition(kernel=kernel, sort_mode=sort_mode,
+                                   sorting_config=sorting_config,
+                                   cost_model=cost_model, name=name)
+
+    if name == "Baseline":
+        return build(BaselineDeposition(), SORT_NONE)
+    if name == "Baseline+IncrSort":
+        return build(BaselineDeposition(), SORT_INCREMENTAL)
+    if name == "Rhocell":
+        return build(RhocellDeposition(hand_tuned=False), SORT_NONE)
+    if name == "Rhocell+IncrSort":
+        return build(RhocellDeposition(hand_tuned=False), SORT_INCREMENTAL)
+    if name == "Rhocell+IncrSort (VPU)":
+        return build(RhocellDeposition(hand_tuned=True), SORT_INCREMENTAL)
+    if name == "Matrix-only":
+        return build(HybridMPUDeposition(mode="matrix_only"), SORT_NONE)
+    if name == "Hybrid-noSort":
+        return build(HybridMPUDeposition(mode="hybrid"), SORT_NONE)
+    if name == "Hybrid-GlobalSort":
+        return build(HybridMPUDeposition(mode="hybrid"), SORT_GLOBAL_EVERY_STEP)
+    if name == "MatrixPIC (FullOpt)":
+        return build(HybridMPUDeposition(mode="hybrid"), SORT_INCREMENTAL)
+    raise ValueError(
+        f"unknown configuration {name!r}; expected one of {_ALL_CONFIGS}"
+    )

@@ -1,0 +1,122 @@
+"""Adaptive global re-sorting policy (paper §4.4).
+
+The policy decides, once per timestep and per rank, whether to run the
+expensive ``GlobalSortParticlesByCell`` counting sort.  Five prioritised
+triggers are evaluated against the accumulated :class:`RankSortStats`:
+
+1. **Minimum interval** — never sort more often than ``min_sort_interval``.
+2. **Fixed interval** — always sort after ``sort_interval`` steps.
+3. **Local rebuilds** — sort when the tiles' GPMA rebuilds accumulated past
+   ``sort_trigger_rebuild_count``.
+4. **Empty-slot ratio** — sort when the rank-wide gap reserve falls below
+   ``sort_trigger_empty_ratio`` or the occupancy exceeds
+   ``sort_trigger_full_ratio``.
+5. **Performance degradation** (optional) — sort when the deposition
+   throughput falls below ``sort_trigger_perf_degrad`` of the post-sort
+   baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import SortingPolicyConfig
+
+
+@dataclass
+class RankSortStats:
+    """Counters accumulated since the last global sort (one MPI rank)."""
+
+    steps_since_sort: int = 0
+    local_rebuilds: int = 0
+    moved_particles: int = 0
+    total_slots: int = 0
+    empty_slots: int = 0
+    #: deposition throughput (particles per modelled second) of recent steps
+    last_throughput: float = 0.0
+    #: throughput measured right after the previous global sort
+    baseline_throughput: float = 0.0
+    history: list = field(default_factory=list)
+
+    @property
+    def empty_ratio(self) -> float:
+        """Rank-wide fraction of GPMA slots that are gaps."""
+        if self.total_slots <= 0:
+            return 0.0
+        return self.empty_slots / self.total_slots
+
+    @property
+    def fill_ratio(self) -> float:
+        """Rank-wide fraction of GPMA slots that hold particles."""
+        return 1.0 - self.empty_ratio
+
+    def record_step(self, *, rebuilds: int, moved: int, total_slots: int,
+                    empty_slots: int, throughput: float) -> None:
+        """Fold one timestep's per-tile statistics into the rank totals."""
+        self.steps_since_sort += 1
+        self.local_rebuilds += int(rebuilds)
+        self.moved_particles += int(moved)
+        self.total_slots = int(total_slots)
+        self.empty_slots = int(empty_slots)
+        self.last_throughput = float(throughput)
+        if self.baseline_throughput == 0.0 and throughput > 0.0:
+            self.baseline_throughput = float(throughput)
+        self.history.append(throughput)
+
+    def reset(self) -> None:
+        """Reset after a global sort (``ResetRankSortCounters``)."""
+        self.steps_since_sort = 0
+        self.local_rebuilds = 0
+        self.moved_particles = 0
+        self.baseline_throughput = self.last_throughput
+        self.history.clear()
+
+
+class GlobalSortPolicy:
+    """Implements ``ShouldPerformGlobalSort`` with the five triggers."""
+
+    def __init__(self, config: Optional[SortingPolicyConfig] = None):
+        self.config = config if config is not None else SortingPolicyConfig()
+        #: reason string of the last positive decision (for diagnostics)
+        self.last_trigger: Optional[str] = None
+
+    def should_sort(self, stats: RankSortStats) -> bool:
+        """Evaluate the prioritised triggers against the rank statistics."""
+        cfg = self.config
+        self.last_trigger = None
+
+        # 1. minimum interval — hard veto
+        if stats.steps_since_sort < cfg.min_sort_interval:
+            return False
+
+        # 2. fixed interval
+        if stats.steps_since_sort >= cfg.sort_interval:
+            self.last_trigger = "fixed_interval"
+            return True
+
+        # 3. accumulated local rebuilds
+        if stats.local_rebuilds >= cfg.sort_trigger_rebuild_count:
+            self.last_trigger = "rebuild_count"
+            return True
+
+        # 4. empty-slot ratio: too few gaps left (structure nearly full) or
+        #    far too many gaps (structure became sparse and cache-unfriendly)
+        if stats.total_slots > 0:
+            if stats.empty_ratio < cfg.sort_trigger_empty_ratio:
+                self.last_trigger = "empty_ratio"
+                return True
+            if stats.empty_ratio > cfg.sort_trigger_full_ratio:
+                self.last_trigger = "sparse_ratio"
+                return True
+
+        # 5. performance degradation (optional)
+        if (cfg.sort_trigger_perf_enable
+                and stats.baseline_throughput > 0.0
+                and stats.last_throughput > 0.0
+                and stats.last_throughput
+                < cfg.sort_trigger_perf_degrad * stats.baseline_throughput):
+            self.last_trigger = "perf_degradation"
+            return True
+
+        return False

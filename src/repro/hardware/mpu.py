@@ -1,0 +1,109 @@
+"""Functional simulator of the Matrix Processing Unit (MPU).
+
+The MPU of the LX2 core executes Matrix-Outer-Product-Accumulate (MOPA)
+instructions: given two FP64 vector operands ``a`` (length <= 8) and ``b``
+(length <= 8) it accumulates ``a (x) b`` into an 8x8 FP64 tile register
+(Equation 3 of the paper).  The unit has no scatter/gather or predication
+support, so all operand staging is done by the VPU — exactly the division
+of labour modelled by :mod:`repro.core.hybrid_kernel`.
+
+The simulator keeps a real tile register (a NumPy array), so the numerical
+output of the MPU deposition path is produced by genuine outer products and
+can be compared bit-for-bit against the scalar reference kernel.  Every
+instruction is charged to the bound
+:class:`~repro.hardware.counters.PhaseCounters`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.counters import PhaseCounters
+
+
+class MatrixUnit:
+    """An 8x8 FP64 outer-product-accumulate tile engine."""
+
+    def __init__(self, rows: int = 8, cols: int = 8,
+                 counters: Optional[PhaseCounters] = None):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("tile dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.counters = counters if counters is not None else PhaseCounters()
+        self._tile = np.zeros((rows, cols))
+
+    # ------------------------------------------------------------------
+    def bind(self, counters: PhaseCounters) -> None:
+        """Redirect subsequent instruction counts to ``counters``."""
+        self.counters = counters
+
+    @property
+    def tile(self) -> np.ndarray:
+        """Read-only view of the tile register (for tests/diagnostics)."""
+        return self._tile.copy()
+
+    # ------------------------------------------------------------------
+    def zero_tile(self) -> None:
+        """Clear the tile register (one tile-management instruction)."""
+        self._tile.fill(0.0)
+        self.counters.add(mpu_tile_moves=1.0)
+
+    def mopa(self, a: np.ndarray, b: np.ndarray) -> None:
+        """One outer-product-accumulate: ``tile += a (x) b``.
+
+        Operands shorter than the tile dimensions are zero-padded, matching
+        the paper's description of zeroing unused lanes during operand
+        construction (§4.2.1).
+        """
+        a = np.asarray(a, dtype=np.float64).ravel()
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if a.size > self.rows or b.size > self.cols:
+            raise ValueError(
+                f"operand lengths ({a.size}, {b.size}) exceed tile "
+                f"({self.rows}x{self.cols})"
+            )
+        pa = np.zeros(self.rows)
+        pb = np.zeros(self.cols)
+        pa[: a.size] = a
+        pb[: b.size] = b
+        self._tile += np.outer(pa, pb)
+        self.counters.add(mpu_mopa=1.0)
+
+    def mopa_batch(self, a_batch: np.ndarray, b_batch: np.ndarray) -> None:
+        """Accumulate a sequence of outer products into the tile.
+
+        ``a_batch`` has shape ``(n, ra)`` and ``b_batch`` shape ``(n, rb)``
+        with ``ra <= rows`` and ``rb <= cols``.  Semantically this is ``n``
+        consecutive :meth:`mopa` instructions issued while the tile stays
+        resident in the register (the residency optimisation of §4.2.2); it
+        is provided so callers can hand the whole per-cell batch to the unit
+        in one call without a Python-level loop.
+        """
+        a_batch = np.atleast_2d(np.asarray(a_batch, dtype=np.float64))
+        b_batch = np.atleast_2d(np.asarray(b_batch, dtype=np.float64))
+        if a_batch.shape[0] != b_batch.shape[0]:
+            raise ValueError("operand batches must have the same length")
+        if a_batch.shape[1] > self.rows or b_batch.shape[1] > self.cols:
+            raise ValueError(
+                f"operand widths ({a_batch.shape[1]}, {b_batch.shape[1]}) "
+                f"exceed tile ({self.rows}x{self.cols})"
+            )
+        n = a_batch.shape[0]
+        if n == 0:
+            return
+        partial = np.einsum("ni,nj->ij", a_batch, b_batch)
+        self._tile[: a_batch.shape[1], : b_batch.shape[1]] += partial
+        self.counters.add(mpu_mopa=float(n))
+
+    def read_tile(self, rows: Optional[int] = None,
+                  cols: Optional[int] = None) -> np.ndarray:
+        """Move the (sub-)tile out to VPU registers; returns a copy."""
+        rows = self.rows if rows is None else rows
+        cols = self.cols if cols is None else cols
+        if not (0 < rows <= self.rows and 0 < cols <= self.cols):
+            raise ValueError("requested sub-tile exceeds tile dimensions")
+        self.counters.add(mpu_tile_moves=1.0)
+        return self._tile[:rows, :cols].copy()

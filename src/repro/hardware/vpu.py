@@ -1,0 +1,161 @@
+"""Functional simulator of the Vector Processing Unit (VPU).
+
+The VPU of the LX2 core executes 512-bit FP64 SIMD instructions — eight
+double-precision lanes per instruction.  Kernels issue their element-wise
+arithmetic, loads/stores and gathers/scatters through this class: the
+numerical result is produced with NumPy (so correctness is end-to-end
+testable) while the instruction counts are charged to a
+:class:`~repro.hardware.counters.PhaseCounters` object the way a real VPU
+would retire them, ``ceil(n / lanes)`` instructions per ``n``-element
+operation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.counters import PhaseCounters
+
+_FP64_BYTES = 8
+
+
+class VectorUnit:
+    """An 8-lane (by default) FP64 SIMD unit with instruction accounting."""
+
+    def __init__(self, lanes: int = 8, counters: Optional[PhaseCounters] = None):
+        if lanes <= 0:
+            raise ValueError(f"lanes must be positive, got {lanes}")
+        self.lanes = lanes
+        self.counters = counters if counters is not None else PhaseCounters()
+
+    # ------------------------------------------------------------------
+    def bind(self, counters: PhaseCounters) -> None:
+        """Redirect subsequent instruction counts to ``counters``."""
+        self.counters = counters
+
+    def _instructions(self, n_elements: int) -> float:
+        return math.ceil(max(int(n_elements), 0) / self.lanes)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def fma(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """Fused multiply-add ``a * b + c`` over SIMD lanes."""
+        a = np.asarray(a)
+        n = max(np.size(a), np.size(b), np.size(c))
+        self.counters.add(vpu_fma=self._instructions(n))
+        return a * np.asarray(b) + np.asarray(c)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product."""
+        n = max(np.size(a), np.size(b))
+        self.counters.add(vpu_alu=self._instructions(n))
+        return np.asarray(a) * np.asarray(b)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise sum."""
+        n = max(np.size(a), np.size(b))
+        self.counters.add(vpu_alu=self._instructions(n))
+        return np.asarray(a) + np.asarray(b)
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise difference."""
+        n = max(np.size(a), np.size(b))
+        self.counters.add(vpu_alu=self._instructions(n))
+        return np.asarray(a) - np.asarray(b)
+
+    def floor(self, a: np.ndarray) -> np.ndarray:
+        """Element-wise floor (used for cell-index computation)."""
+        self.counters.add(vpu_alu=self._instructions(np.size(a)))
+        return np.floor(np.asarray(a))
+
+    def compare(self, a: np.ndarray, b: np.ndarray, op: str = "ne") -> np.ndarray:
+        """Element-wise comparison producing a lane mask."""
+        n = max(np.size(a), np.size(b))
+        self.counters.add(vpu_alu=self._instructions(n))
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if op == "ne":
+            return a != b
+        if op == "eq":
+            return a == b
+        if op == "lt":
+            return a < b
+        if op == "ge":
+            return a >= b
+        raise ValueError(f"unsupported comparison {op!r}")
+
+    def select(self, mask: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Lane-wise blend: ``a`` where mask is set, ``b`` elsewhere."""
+        n = np.size(mask)
+        self.counters.add(vpu_alu=self._instructions(n))
+        return np.where(np.asarray(mask), np.asarray(a), np.asarray(b))
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def load(self, array: np.ndarray, *, far: bool = False) -> np.ndarray:
+        """Contiguous vector load of an array."""
+        n = np.size(array)
+        self.counters.add(vpu_mem=self._instructions(n))
+        self._charge_bytes(n, far)
+        return np.asarray(array)
+
+    def store(self, destination: np.ndarray, values: np.ndarray,
+              *, far: bool = False) -> None:
+        """Contiguous vector store into ``destination`` (flat overwrite)."""
+        values = np.asarray(values)
+        n = np.size(values)
+        self.counters.add(vpu_mem=self._instructions(n))
+        self._charge_bytes(n, far)
+        np.copyto(destination, values, casting="unsafe")
+
+    def gather(self, array: np.ndarray, indices: np.ndarray,
+               *, far: bool = True) -> np.ndarray:
+        """Indexed vector gather (higher cost than a contiguous load)."""
+        indices = np.asarray(indices)
+        n = np.size(indices)
+        self.counters.add(vpu_gather_scatter=self._instructions(n))
+        self._charge_bytes(n, far)
+        return np.asarray(array)[indices]
+
+    def scatter_add(self, array: np.ndarray, indices: np.ndarray,
+                    values: np.ndarray, *, far: bool = True) -> None:
+        """Indexed scatter-add into a flat array (conflict-safe)."""
+        indices = np.asarray(indices)
+        n = np.size(indices)
+        self.counters.add(vpu_gather_scatter=self._instructions(n))
+        self._charge_bytes(2 * n, far)  # read-modify-write
+        np.add.at(array, indices, np.asarray(values))
+
+    def atomic_scatter_add(self, array: np.ndarray, indices: np.ndarray,
+                           values: np.ndarray) -> None:
+        """Scatter-add requiring atomics, charging conflict serialisation.
+
+        Conflicts are counted from the actual index stream: any element whose
+        target index already appears earlier within the same SIMD vector
+        would serialise on real hardware (Figure 2 of the paper).
+        """
+        indices = np.asarray(indices).ravel()
+        values = np.asarray(values).ravel()
+        n = indices.size
+        self.counters.add(vpu_gather_scatter=self._instructions(n),
+                          atomic_updates=float(n))
+        conflicts = 0
+        for start in range(0, n, self.lanes):
+            chunk = indices[start:start + self.lanes]
+            conflicts += chunk.size - np.unique(chunk).size
+        self.counters.add(atomic_conflicts=float(conflicts))
+        self._charge_bytes(2 * n, far=True)
+        np.add.at(array, indices, values)
+
+    # ------------------------------------------------------------------
+    def _charge_bytes(self, n_elements: int, far: bool) -> None:
+        n_bytes = float(max(int(n_elements), 0)) * _FP64_BYTES
+        if far:
+            self.counters.add(bytes_far=n_bytes)
+        else:
+            self.counters.add(bytes_near=n_bytes)

@@ -1,0 +1,215 @@
+"""Shared infrastructure for the current-deposition kernels.
+
+Every kernel (baseline, rhocell variants, MPU hybrid) consumes the same
+per-tile staging data produced by :func:`prepare_tile_data` and implements
+the :class:`DepositionKernel` interface: deposit the tile's current into
+the grid arrays and record the work it performed in a
+:class:`~repro.hardware.counters.KernelCounters` object.
+
+All kernels are *numerically equivalent*: for the same particle state they
+must add exactly the same current to the grid.  The integration tests
+enforce this against the scatter-add reference kernel.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import SHAPE_ORDER_CIC, SHAPE_ORDER_QSP, SHAPE_ORDER_TSC
+from repro.hardware.counters import KernelCounters
+from repro.pic.grid import Grid
+from repro.pic.particles import ParticleContainer, ParticleTile
+from repro.pic.pusher import velocities
+from repro.pic.shapes import shape_factors, shape_support
+
+#: Effective FP64 operations per particle of the canonical scalar deposition
+#: algorithm, used as the numerator of the Table 3 peak-efficiency metric.
+#: The third-order value (419) is the figure quoted in §5.2.2 of the paper;
+#: the lower orders are the analogous counts for their smaller stencils.
+_EFFECTIVE_FLOPS = {
+    SHAPE_ORDER_CIC: 101.0,
+    SHAPE_ORDER_TSC: 218.0,
+    SHAPE_ORDER_QSP: 419.0,
+}
+
+
+def effective_deposition_flops(order: int) -> float:
+    """Useful FP64 work per particle for the given shape order."""
+    try:
+        return _EFFECTIVE_FLOPS[order]
+    except KeyError:
+        raise ValueError(f"unsupported shape order {order}") from None
+
+
+def cell_switch_fraction(cell_ids: np.ndarray) -> float:
+    """Fraction of consecutive particles that change cell.
+
+    This is the data-locality metric used by the cost model: a perfectly
+    cell-sorted tile has a switch fraction close to ``n_cells / n_particles``
+    while an unsorted tile approaches 1.  Kernels charge their grid/rhocell
+    traffic to the far-memory path in proportion to this fraction, which is
+    how sorting translates into modelled speedup.
+    """
+    cell_ids = np.asarray(cell_ids)
+    if cell_ids.size <= 1:
+        return 0.0
+    switches = np.count_nonzero(cell_ids[1:] != cell_ids[:-1])
+    return float(switches) / float(cell_ids.size - 1)
+
+
+@dataclass
+class TileDepositionData:
+    """Per-particle staging data for one tile (Stage 1 of Algorithm 2)."""
+
+    #: shape order the data was prepared for
+    order: int
+    #: first grid node receiving weight, per axis, shape (n,)
+    base_x: np.ndarray
+    base_y: np.ndarray
+    base_z: np.ndarray
+    #: 1-D shape-factor weights per axis, shape (n, order + 1)
+    wx: np.ndarray
+    wy: np.ndarray
+    wz: np.ndarray
+    #: effective current terms q * v * w / V_cell, shape (n,)
+    wqx: np.ndarray
+    wqy: np.ndarray
+    wqz: np.ndarray
+    #: linear cell id of each particle within the *global* grid, shape (n,)
+    cell_ids: np.ndarray
+    #: linear cell id within the tile box, shape (n,)
+    local_cell_ids: np.ndarray
+
+    @property
+    def num_particles(self) -> int:
+        """Number of particles staged for deposition."""
+        return self.base_x.shape[0]
+
+    @property
+    def support(self) -> int:
+        """Nodes touched along one axis."""
+        return self.wx.shape[1] if self.num_particles else shape_support(self.order)
+
+
+def prepare_tile_data(grid: Grid, tile: ParticleTile, charge: float,
+                      order: int) -> TileDepositionData:
+    """Compute shape factors and effective currents for a tile's particles.
+
+    The returned arrays follow the *storage order* of the tile, so a kernel
+    observing them sees exactly the locality (or lack of it) that the
+    sorting machinery established.
+    """
+    n = tile.num_particles
+    if n == 0:
+        empty = np.empty(0)
+        empty_i = np.empty(0, dtype=np.int64)
+        zero_w = np.empty((0, shape_support(order)))
+        return TileDepositionData(
+            order=order,
+            base_x=empty_i, base_y=empty_i, base_z=empty_i,
+            wx=zero_w, wy=zero_w, wz=zero_w,
+            wqx=empty, wqy=empty, wqz=empty,
+            cell_ids=empty_i, local_cell_ids=empty_i,
+        )
+
+    xi, yi, zi = grid.normalized_position(tile.x, tile.y, tile.z)
+    base_x, wx = shape_factors(xi, order)
+    base_y, wy = shape_factors(yi, order)
+    base_z, wz = shape_factors(zi, order)
+
+    vx, vy, vz = velocities(tile.ux, tile.uy, tile.uz)
+    cell_volume = float(np.prod(grid.cell_size))
+    scale = charge / cell_volume
+    wqx = scale * tile.w * vx
+    wqy = scale * tile.w * vy
+    wqz = scale * tile.w * vz
+
+    ix, iy, iz = grid.cell_index(tile.x, tile.y, tile.z)
+    cell_ids = grid.linear_cell_id(ix, iy, iz)
+    local_cell_ids = tile.local_cell_ids(grid)
+
+    return TileDepositionData(
+        order=order,
+        base_x=base_x, base_y=base_y, base_z=base_z,
+        wx=wx, wy=wy, wz=wz,
+        wqx=wqx, wqy=wqy, wqz=wqz,
+        cell_ids=cell_ids, local_cell_ids=local_cell_ids,
+    )
+
+
+def scatter_tile_currents(grid: Grid, data: TileDepositionData) -> None:
+    """Numerically exact scatter-add of a tile's staged currents to the grid.
+
+    Used by kernels whose instrumentation differs but whose arithmetic is
+    the straightforward per-node accumulation (baseline and rhocell paths
+    both reduce to this formula).
+    """
+    if data.num_particles == 0:
+        return
+    support = data.support
+    jx, jy, jz = grid.current_arrays()
+    for i in range(support):
+        gx = grid.wrap_node_index(data.base_x + i, axis=0)
+        for j in range(support):
+            gy = grid.wrap_node_index(data.base_y + j, axis=1)
+            wij = data.wx[:, i] * data.wy[:, j]
+            for k in range(support):
+                gz = grid.wrap_node_index(data.base_z + k, axis=2)
+                w = wij * data.wz[:, k]
+                np.add.at(jx, (gx, gy, gz), data.wqx * w)
+                np.add.at(jy, (gx, gy, gz), data.wqy * w)
+                np.add.at(jz, (gx, gy, gz), data.wqz * w)
+
+
+class DepositionKernel(abc.ABC):
+    """Interface of an instrumented current-deposition kernel."""
+
+    #: human-readable configuration name used in tables and figures
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def deposit_tile(self, grid: Grid, tile: ParticleTile, charge: float,
+                     order: int, counters: KernelCounters,
+                     ordering: Optional[np.ndarray] = None) -> None:
+        """Deposit one tile's current into the grid, recording counters.
+
+        ``ordering`` is the processing order of the tile's particles (the
+        GPMA iteration order when an incremental sorter is active).  When
+        omitted, the storage order is used.  The numerics are independent of
+        the order; only the modelled locality and gather costs change.
+        """
+
+    def deposit(self, grid: Grid, container: ParticleContainer, order: int,
+                counters: Optional[KernelCounters] = None) -> KernelCounters:
+        """Deposit the whole container; currents are *added* to the grid."""
+        if counters is None:
+            counters = KernelCounters()
+        for tile in container.iter_tiles():
+            if tile.num_particles == 0:
+                continue
+            self.deposit_tile(grid, tile, container.charge, order, counters)
+        return counters
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def charge_effective_work(counters: KernelCounters, num_particles: int,
+                              order: int) -> None:
+        """Record the canonical useful work for the efficiency metric."""
+        counters.phase("compute").add(
+            effective_flops=num_particles * effective_deposition_flops(order)
+        )
+
+    @staticmethod
+    def soa_read_bytes(num_particles: int) -> float:
+        """Bytes read to stream a particle's SoA record (7 FP64 fields)."""
+        return float(num_particles) * 7.0 * 8.0
+
+    @staticmethod
+    def grid_write_bytes(num_particles: int, order: int) -> float:
+        """Bytes of grid read-modify-write traffic for direct deposition."""
+        nodes = shape_support(order) ** 3
+        return float(num_particles) * nodes * 3.0 * 8.0 * 2.0

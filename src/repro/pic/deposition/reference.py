@@ -1,0 +1,48 @@
+"""Uninstrumented reference deposition kernels.
+
+These kernels are the numerical ground truth: a straightforward vectorised
+scatter-add over all particles of a container.  They carry no hardware
+instrumentation and are therefore also the fast path used by the plain
+simulation loop and by the physics-level tests (energy conservation, charge
+conservation, LWFA wakefield structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pic.deposition.base import prepare_tile_data, scatter_tile_currents
+from repro.pic.grid import Grid
+from repro.pic.particles import ParticleContainer
+from repro.pic.shapes import shape_factors, shape_support
+
+
+def deposit_reference(grid: Grid, container: ParticleContainer, order: int) -> None:
+    """Add the container's current density to the grid (numerical reference)."""
+    for tile in container.iter_tiles():
+        if tile.num_particles == 0:
+            continue
+        data = prepare_tile_data(grid, tile, container.charge, order)
+        scatter_tile_currents(grid, data)
+
+
+def deposit_rho_reference(grid: Grid, container: ParticleContainer, order: int) -> None:
+    """Add the container's charge density to ``grid.rho``."""
+    cell_volume = float(np.prod(grid.cell_size))
+    support = shape_support(order)
+    for tile in container.iter_tiles():
+        if tile.num_particles == 0:
+            continue
+        xi, yi, zi = grid.normalized_position(tile.x, tile.y, tile.z)
+        bx, wx = shape_factors(xi, order)
+        by, wy = shape_factors(yi, order)
+        bz, wz = shape_factors(zi, order)
+        q = container.charge * tile.w / cell_volume
+        for i in range(support):
+            gx = grid.wrap_node_index(bx + i, axis=0)
+            for j in range(support):
+                gy = grid.wrap_node_index(by + j, axis=1)
+                wij = wx[:, i] * wy[:, j]
+                for k in range(support):
+                    gz = grid.wrap_node_index(bz + k, axis=2)
+                    np.add.at(grid.rho, (gx, gy, gz), q * wij * wz[:, k])

@@ -1,0 +1,152 @@
+"""Simulation diagnostics: energies, conservation checks, stage breakdowns.
+
+The :class:`RuntimeBreakdown` class records how long each stage of the PIC
+loop takes per step; it backs the Figure-1 reproduction (runtime breakdown
+of a uniform-plasma run) and the normalised breakdown panel of Figure 8.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.pic.grid import Grid
+from repro.pic.particles import ParticleContainer
+
+#: Stage names used by the simulation loop, in execution order.
+STAGES = (
+    "field_gather_push",
+    "boundary_redistribute",
+    "current_deposition",
+    "field_solve",
+    "other",
+)
+
+
+class RuntimeBreakdown:
+    """Accumulates wall-clock seconds per PIC stage."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = defaultdict(float)
+        self.steps = 0
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Add ``seconds`` to the given stage."""
+        self.seconds[stage] += float(seconds)
+
+    def timeit(self, stage: str):
+        """Context manager timing a stage with the wall clock."""
+        return _StageTimer(self, stage)
+
+    def finish_step(self) -> None:
+        """Mark the end of one simulation step."""
+        self.steps += 1
+
+    @property
+    def total(self) -> float:
+        """Total recorded seconds across all stages."""
+        return sum(self.seconds.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-stage fraction of the total runtime."""
+        total = self.total
+        if total <= 0.0:
+            return {stage: 0.0 for stage in self.seconds}
+        return {stage: s / total for stage, s in self.seconds.items()}
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Table rows (stage, seconds, fraction) sorted by execution order."""
+        fractions = self.fractions()
+        ordered = [s for s in STAGES if s in self.seconds]
+        ordered += [s for s in self.seconds if s not in STAGES]
+        return [
+            {"stage": stage, "seconds": self.seconds[stage],
+             "fraction": fractions.get(stage, 0.0)}
+            for stage in ordered
+        ]
+
+
+class _StageTimer:
+    def __init__(self, breakdown: RuntimeBreakdown, stage: str):
+        self.breakdown = breakdown
+        self.stage = stage
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.breakdown.record(self.stage, time.perf_counter() - self._start)
+
+
+@dataclass
+class EnergyRecord:
+    """Snapshot of the system energies at one step."""
+
+    step: int
+    field_energy: float
+    kinetic_energy: float
+
+    @property
+    def total(self) -> float:
+        """Total (field + kinetic) energy."""
+        return self.field_energy + self.kinetic_energy
+
+
+@dataclass
+class EnergyDiagnostic:
+    """Tracks the energy history of a simulation."""
+
+    history: List[EnergyRecord] = field(default_factory=list)
+
+    def record(self, step: int, grid: Grid,
+               containers: List[ParticleContainer]) -> EnergyRecord:
+        """Record energies at the given step and return the snapshot."""
+        kinetic = sum(c.kinetic_energy() for c in containers)
+        snapshot = EnergyRecord(step=step, field_energy=grid.field_energy(),
+                                kinetic_energy=kinetic)
+        self.history.append(snapshot)
+        return snapshot
+
+    def relative_energy_drift(self) -> float:
+        """|E_final - E_initial| / E_initial over the recorded history."""
+        if len(self.history) < 2:
+            return 0.0
+        first, last = self.history[0].total, self.history[-1].total
+        if first == 0.0:
+            return 0.0 if last == 0.0 else float("inf")
+        return abs(last - first) / abs(first)
+
+
+def total_deposited_charge(grid: Grid) -> float:
+    """Volume integral of the node-centred charge density."""
+    return float(grid.rho.sum() * np.prod(grid.cell_size))
+
+
+def total_particle_charge(container: ParticleContainer) -> float:
+    """Sum of macro-particle charges of a container."""
+    total = 0.0
+    for tile in container.iter_tiles():
+        if tile.num_particles:
+            total += float(tile.w.sum()) * container.charge
+    return total
+
+
+def current_residual(grid_a: Grid, grid_b: Grid) -> float:
+    """Maximum absolute difference between the currents of two grids.
+
+    Used by the equivalence tests: every deposition kernel must reproduce
+    the reference kernel's grid current to round-off.
+    """
+    return float(
+        max(
+            np.max(np.abs(grid_a.jx - grid_b.jx), initial=0.0),
+            np.max(np.abs(grid_a.jy - grid_b.jy), initial=0.0),
+            np.max(np.abs(grid_a.jz - grid_b.jz), initial=0.0),
+        )
+    )

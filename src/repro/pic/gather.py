@@ -1,0 +1,54 @@
+"""Field gather: interpolation of grid fields to particle positions.
+
+The gather step uses the same assignment functions as deposition (the
+adjoint operation), so momentum is conserved between the grid and the
+particles for a consistent shape order.  Fields are treated as node-centred
+for interpolation, which matches the node-centred current deposition used
+throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.pic.grid import Grid
+from repro.pic.particles import ParticleTile
+from repro.pic.shapes import shape_factors, shape_support
+
+
+def gather_field(grid: Grid, field: np.ndarray, x: np.ndarray, y: np.ndarray,
+                 z: np.ndarray, order: int) -> np.ndarray:
+    """Interpolate one field component to the given particle positions."""
+    xi, yi, zi = grid.normalized_position(x, y, z)
+    bx, wx = shape_factors(xi, order)
+    by, wy = shape_factors(yi, order)
+    bz, wz = shape_factors(zi, order)
+    support = shape_support(order)
+
+    result = np.zeros_like(np.asarray(x, dtype=np.float64))
+    for i in range(support):
+        gx = grid.wrap_node_index(bx + i, axis=0)
+        for j in range(support):
+            gy = grid.wrap_node_index(by + j, axis=1)
+            wij = wx[:, i] * wy[:, j]
+            for k in range(support):
+                gz = grid.wrap_node_index(bz + k, axis=2)
+                result += wij * wz[:, k] * field[gx, gy, gz]
+    return result
+
+
+def gather_fields_for_tile(grid: Grid, tile: ParticleTile, order: int
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray, np.ndarray]:
+    """Interpolate all six field components to a tile's particles."""
+    x, y, z = tile.x, tile.y, tile.z
+    return (
+        gather_field(grid, grid.ex, x, y, z, order),
+        gather_field(grid, grid.ey, x, y, z, order),
+        gather_field(grid, grid.ez, x, y, z, order),
+        gather_field(grid, grid.bx, x, y, z, order),
+        gather_field(grid, grid.by, x, y, z, order),
+        gather_field(grid, grid.bz, x, y, z, order),
+    )

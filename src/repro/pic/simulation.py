@@ -1,0 +1,162 @@
+"""Top-level PIC simulation loop.
+
+The :class:`Simulation` class wires the substrate together — grid, particle
+containers, Boris pusher, field gather, FDTD solver, boundary conditions,
+laser antenna and moving window — and runs the standard PIC cycle of §3.1:
+
+1. field gather and particle push,
+2. particle boundary conditions and tile redistribution,
+3. current deposition,
+4. field solve (Maxwell update) plus laser injection and window motion.
+
+The deposition step is pluggable: by default the fast, uninstrumented
+reference kernel is used, while the benchmarks install a
+:class:`DepositionStrategy` (the baseline kernels of
+:mod:`repro.baselines` or the Matrix-PIC framework of :mod:`repro.core`)
+that also performs sorting and records hardware counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.hardware.counters import KernelCounters
+from repro.pic.boundary import FieldBoundaryConditions
+from repro.pic.deposition.reference import deposit_reference
+from repro.pic.diagnostics import EnergyDiagnostic, RuntimeBreakdown
+from repro.pic.grid import Grid
+from repro.pic.laser import LaserAntenna
+from repro.pic.maxwell import FDTDSolver
+from repro.pic.moving_window import MovingWindow
+from repro.pic.particles import ParticleContainer
+from repro.pic.plasma import load_uniform_plasma
+from repro.pic.pusher import BorisPusher
+
+
+class DepositionStrategy(Protocol):
+    """Deposition step installed into the simulation loop.
+
+    A strategy owns everything the paper counts as part of the deposition
+    kernel: data preparation, (incremental) sorting and the deposition
+    proper.  It must *add* current to the grid arrays (which are zeroed by
+    the loop beforehand) and may return hardware counters for the cost
+    model.
+    """
+
+    def run_step(self, grid: Grid, container: ParticleContainer,
+                 order: int, step: int) -> Optional[KernelCounters]:
+        """Deposit one species for one step."""
+        ...
+
+
+class ReferenceDeposition:
+    """Default strategy: the uninstrumented scatter-add reference kernel."""
+
+    name = "Reference"
+
+    def run_step(self, grid: Grid, container: ParticleContainer,
+                 order: int, step: int) -> Optional[KernelCounters]:
+        deposit_reference(grid, container, order)
+        return None
+
+
+class Simulation:
+    """A complete PIC simulation assembled from a :class:`SimulationConfig`."""
+
+    def __init__(self, config: SimulationConfig,
+                 deposition: Optional[DepositionStrategy] = None,
+                 load_plasma: bool = True):
+        self.config = config
+        self.grid = Grid(config.grid)
+        self.dt = config.time_step
+        self.step_index = 0
+        self.rng = np.random.default_rng(config.seed)
+
+        self.containers: List[ParticleContainer] = [
+            ParticleContainer(config.grid, species) for species in config.species
+        ]
+        if load_plasma:
+            for container, species in zip(self.containers, config.species):
+                load_uniform_plasma(self.grid, container, species, self.rng)
+
+        self.pusher = BorisPusher(shape_order=config.shape_order)
+        self.solver = (
+            FDTDSolver(self.grid, scheme=config.field_solver)
+            if config.field_solver != "none" else None
+        )
+        self.boundaries = FieldBoundaryConditions(config.grid)
+        self.laser = (
+            LaserAntenna(config.laser, self.grid, axis=config.moving_window.axis)
+            if config.laser is not None else None
+        )
+        self.moving_window = MovingWindow(config.moving_window)
+        self.deposition: DepositionStrategy = (
+            deposition if deposition is not None else ReferenceDeposition()
+        )
+
+        self.breakdown = RuntimeBreakdown()
+        self.energy = EnergyDiagnostic()
+        #: accumulated hardware counters from the deposition strategy
+        self.deposition_counters = KernelCounters()
+
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Physical time of the current step [s]."""
+        return self.step_index * self.dt
+
+    @property
+    def num_particles(self) -> int:
+        """Total macro-particles across all species."""
+        return sum(c.num_particles for c in self.containers)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole system by one time step."""
+        grid = self.grid
+
+        with self.breakdown.timeit("field_gather_push"):
+            for container in self.containers:
+                self.pusher.push(container, grid, self.dt)
+
+        with self.breakdown.timeit("boundary_redistribute"):
+            for container in self.containers:
+                container.apply_boundary_conditions(grid)
+                container.redistribute(grid)
+            self.moving_window.advance(grid, self.containers, self.dt,
+                                       self.step_index)
+
+        with self.breakdown.timeit("current_deposition"):
+            grid.zero_currents()
+            for container in self.containers:
+                counters = self.deposition.run_step(
+                    grid, container, self.config.shape_order, self.step_index
+                )
+                if counters is not None:
+                    self.deposition_counters.merge(counters)
+
+        with self.breakdown.timeit("field_solve"):
+            if self.laser is not None:
+                self.laser.inject(grid, self.time, self.dt)
+            if self.solver is not None:
+                self.solver.step(self.dt)
+                self.boundaries.apply(grid)
+
+        self.breakdown.finish_step()
+        self.step_index += 1
+
+    def run(self, steps: Optional[int] = None,
+            record_energy: bool = False) -> RuntimeBreakdown:
+        """Run ``steps`` steps (defaults to the configured ``max_steps``)."""
+        n = self.config.max_steps if steps is None else steps
+        if record_energy:
+            self.energy.record(self.step_index, self.grid, self.containers)
+        for _ in range(n):
+            self.step()
+            if record_energy:
+                self.energy.record(self.step_index, self.grid, self.containers)
+        return self.breakdown

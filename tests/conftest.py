@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GridConfig, SpeciesConfig
+from repro.pic.grid import Grid
+from repro.pic.particles import ParticleContainer
+from repro.pic.plasma import load_uniform_plasma
+
+
+@pytest.fixture
+def small_grid_config() -> GridConfig:
+    """An 8x8x8 periodic grid with a single 8x8x8 tile."""
+    return GridConfig(n_cell=(8, 8, 8), hi=(8.0e-6, 8.0e-6, 8.0e-6),
+                      tile_size=(8, 8, 8))
+
+
+@pytest.fixture
+def tiled_grid_config() -> GridConfig:
+    """An 8x8x8 periodic grid split into eight 4x4x4 tiles."""
+    return GridConfig(n_cell=(8, 8, 8), hi=(8.0e-6, 8.0e-6, 8.0e-6),
+                      tile_size=(4, 4, 4))
+
+
+@pytest.fixture
+def small_grid(small_grid_config) -> Grid:
+    return Grid(small_grid_config)
+
+
+def make_plasma(grid_config: GridConfig, ppc=(2, 2, 2), seed: int = 7,
+                momentum_scale: float = 3.0e6):
+    """Grid + container filled with a uniform plasma carrying random momenta."""
+    grid = Grid(grid_config)
+    species = SpeciesConfig(ppc=ppc)
+    container = ParticleContainer(grid_config, species)
+    rng = np.random.default_rng(seed)
+    load_uniform_plasma(grid, container, species, rng)
+    for tile in container.iter_tiles():
+        n = tile.num_particles
+        if n:
+            tile.ux = rng.normal(0.0, momentum_scale, n)
+            tile.uy = rng.normal(0.0, momentum_scale, n)
+            tile.uz = rng.normal(0.0, momentum_scale, n)
+    return grid, container
+
+
+@pytest.fixture
+def plasma_small(small_grid_config):
+    """A single-tile plasma used by the kernel equivalence tests."""
+    return make_plasma(small_grid_config)
+
+
+@pytest.fixture
+def plasma_tiled(tiled_grid_config):
+    """A multi-tile plasma used by the container/framework tests."""
+    return make_plasma(tiled_grid_config)

@@ -1,0 +1,69 @@
+"""Tests for the density-adaptive VPU fallback (paper §6.1 recommendation).
+
+The paper recommends falling back to an optimised VPU (or scalar) kernel in
+regions whose particle density is below roughly 8 particles per cell,
+because the MPU framework's overheads are not amortised there.  The
+framework implements this as an optional per-tile kernel selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import MatrixPICDeposition
+from repro.pic.deposition.reference import deposit_reference
+from repro.pic.deposition.rhocell import RhocellDeposition
+from repro.pic.diagnostics import current_residual
+from repro.pic.grid import Grid
+
+from .conftest import make_plasma
+
+
+def test_fallback_threshold_validation():
+    with pytest.raises(ValueError):
+        MatrixPICDeposition(vpu_fallback_ppc=-1.0)
+
+
+def test_fallback_disabled_by_default(tiled_grid_config):
+    grid, container = make_plasma(tiled_grid_config, ppc=(1, 1, 1))
+    strategy = MatrixPICDeposition()
+    strategy.run_step(grid, container, 1, 0)
+    assert strategy.fallback_tiles == 0
+
+
+def test_sparse_tiles_use_vpu_fallback(tiled_grid_config):
+    grid, container = make_plasma(tiled_grid_config, ppc=(1, 1, 1))
+    strategy = MatrixPICDeposition(vpu_fallback_ppc=8.0)
+    counters = strategy.run_step(grid, container, 1, 0)
+    # at 1 particle per cell every tile is below the threshold
+    assert strategy.fallback_tiles == len(container.nonempty_tiles())
+    assert isinstance(strategy.fallback_kernel, RhocellDeposition)
+    # the fallback path issues no MOPA instructions
+    assert counters.phase("compute").mpu_mopa == 0.0
+
+
+def test_dense_tiles_keep_mpu_kernel(tiled_grid_config):
+    grid, container = make_plasma(tiled_grid_config, ppc=(3, 3, 3))
+    strategy = MatrixPICDeposition(vpu_fallback_ppc=8.0)
+    counters = strategy.run_step(grid, container, 1, 0)
+    assert strategy.fallback_tiles == 0
+    assert counters.phase("compute").mpu_mopa > 0.0
+
+
+def test_fallback_result_matches_reference(tiled_grid_config):
+    grid, container = make_plasma(tiled_grid_config, ppc=(1, 1, 1))
+    reference = Grid(tiled_grid_config)
+    deposit_reference(reference, container, 1)
+    strategy = MatrixPICDeposition(vpu_fallback_ppc=8.0)
+    strategy.run_step(grid, container, 1, 0)
+    scale = np.max(np.abs(reference.jx)) or 1.0
+    assert current_residual(grid, reference) / scale < 1e-12
+
+
+def test_custom_fallback_kernel(tiled_grid_config):
+    grid, container = make_plasma(tiled_grid_config, ppc=(1, 1, 1))
+    custom = RhocellDeposition(hand_tuned=False)
+    strategy = MatrixPICDeposition(vpu_fallback_ppc=100.0,
+                                   fallback_kernel=custom)
+    strategy.run_step(grid, container, 1, 0)
+    assert strategy.fallback_kernel is custom
+    assert strategy.fallback_tiles > 0

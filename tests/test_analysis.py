@@ -1,0 +1,138 @@
+"""Tests for the metrics, experiment runners and table formatters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ExperimentResult,
+    crossover_ppc,
+    particles_per_second,
+    peak_efficiency_percent,
+    speedup,
+)
+from repro.analysis.runner import (
+    run_deposition_experiment,
+    run_simulation_experiment,
+    sweep_configurations,
+)
+from repro.analysis.tables import (
+    format_breakdown_table,
+    format_efficiency_table,
+    format_kernel_table,
+    format_series_table,
+    format_table,
+    speedup_series,
+)
+from repro.hardware.cost_model import CostModel, KernelTiming
+from repro.workloads.uniform import UniformPlasmaWorkload
+
+
+def make_result(name, total=1.0, ppc=8):
+    return ExperimentResult(
+        configuration=name, ppc=ppc, shape_order=1, num_particles=1000,
+        steps=2, timing=KernelTiming("LX2", {"compute": total}),
+    )
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_particles_per_second(self):
+        assert particles_per_second(100, 2.0) == pytest.approx(50.0)
+        assert particles_per_second(100, 0.0) == 0.0
+
+    def test_peak_efficiency_percent(self):
+        model = CostModel()
+        timing = KernelTiming("LX2", {"compute": 1.0},
+                              effective_flops=model.spec.vpu_flops_per_cycle
+                              * model.spec.frequency_hz)
+        assert peak_efficiency_percent(model, timing) == pytest.approx(100.0)
+
+    def test_experiment_result_row(self):
+        result = make_result("Baseline", total=2.0)
+        row = result.as_row()
+        assert row["configuration"] == "Baseline"
+        assert row["total_s"] == pytest.approx(2.0)
+        assert result.kernel_seconds_per_step == pytest.approx(1.0)
+        assert result.throughput == pytest.approx(1000.0)
+
+    def test_crossover_ppc(self):
+        results = {
+            1: {"opt": make_result("opt", 2.0), "base": make_result("base", 1.0)},
+            8: {"opt": make_result("opt", 0.5), "base": make_result("base", 1.0)},
+            64: {"opt": make_result("opt", 0.2), "base": make_result("base", 1.0)},
+        }
+        assert crossover_ppc(results, "opt", "base") == 8
+        assert crossover_ppc({1: results[1]}, "opt", "base") is None
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table(("a", "b"), [(1, 2.5), ("x", 0.0)])
+        assert "a" in text and "x" in text
+        assert len(text.splitlines()) == 4
+
+    def test_kernel_table_contains_speedup_column(self):
+        results = {"Baseline": make_result("Baseline", 2.0),
+                   "MatrixPIC (FullOpt)": make_result("MatrixPIC (FullOpt)", 0.5)}
+        text = format_kernel_table(results)
+        assert "Baseline" in text
+        assert "Speedup" in text
+        assert "4.000" in text   # 2.0 / 0.5
+
+    def test_efficiency_table(self):
+        text = format_efficiency_table({"LX2 MatrixPIC": 83.1, "A800": 29.8})
+        assert "LX2 MatrixPIC" in text
+
+    def test_breakdown_table_fractions(self):
+        text = format_breakdown_table({"deposition": 3.0, "push": 1.0})
+        assert "deposition" in text
+        assert "0.750" in text
+
+    def test_series_table_and_speedups(self):
+        series = {1: {"Baseline": 1.0, "MatrixPIC": 2.0},
+                  8: {"Baseline": 4.0, "MatrixPIC": 2.0}}
+        text = format_series_table(series, value_label="wall time")
+        assert "wall time" in text
+        ratios = speedup_series(series, "Baseline", "MatrixPIC")
+        assert ratios[8] == pytest.approx(2.0)
+        assert ratios[1] == pytest.approx(0.5)
+
+
+class TestRunner:
+    @pytest.fixture
+    def tiny_workload(self):
+        return UniformPlasmaWorkload(n_cell=(4, 4, 4), tile_size=(4, 4, 4),
+                                     ppc=8, shape_order=1, max_steps=2)
+
+    def test_run_deposition_experiment(self, tiny_workload):
+        result = run_deposition_experiment(tiny_workload, "Baseline", steps=2)
+        assert result.configuration == "Baseline"
+        assert result.steps == 2
+        assert result.timing.total > 0.0
+        assert result.num_particles == 4 * 4 * 4 * 8
+        assert result.extra["effective_flops"] > 0.0
+
+    def test_sweep_runs_all_configurations(self, tiny_workload):
+        results = sweep_configurations(tiny_workload,
+                                       ("Baseline", "MatrixPIC (FullOpt)"),
+                                       steps=1)
+        assert set(results) == {"Baseline", "MatrixPIC (FullOpt)"}
+        for result in results.values():
+            assert result.timing.total > 0.0
+
+    def test_simulation_experiment_breakdown(self, tiny_workload):
+        simulation = run_simulation_experiment(tiny_workload, steps=2)
+        assert simulation.step_index == 2
+        assert "current_deposition" in simulation.breakdown.seconds
+
+    def test_warmup_excludes_initial_global_sort(self, tiny_workload):
+        with_warmup = run_deposition_experiment(tiny_workload,
+                                                "MatrixPIC (FullOpt)",
+                                                steps=1, warmup_steps=1)
+        without = run_deposition_experiment(tiny_workload,
+                                            "MatrixPIC (FullOpt)",
+                                            steps=1, warmup_steps=0)
+        assert with_warmup.timing.sort <= without.timing.sort

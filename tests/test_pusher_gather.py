@@ -1,0 +1,128 @@
+"""Tests for the Boris pusher and the field gather."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import GridConfig, SpeciesConfig
+from repro.pic.gather import gather_field, gather_fields_for_tile
+from repro.pic.grid import Grid
+from repro.pic.particles import ParticleContainer, ParticleTile
+from repro.pic.pusher import (
+    BorisPusher,
+    boris_push_momentum,
+    lorentz_factor,
+    velocities,
+)
+
+
+def _single(value=0.0):
+    return np.array([value])
+
+
+class TestLorentzFactor:
+    def test_rest_particle(self):
+        assert lorentz_factor(_single(), _single(), _single())[0] == pytest.approx(1.0)
+
+    def test_known_gamma(self):
+        # u = gamma v; for gamma = 2, |u| = sqrt(3) c
+        u = np.sqrt(3.0) * constants.C_LIGHT
+        assert lorentz_factor(_single(u), _single(), _single())[0] == pytest.approx(2.0)
+
+    def test_velocities_below_c(self):
+        vx, vy, vz = velocities(_single(1.0e10), _single(0.0), _single(0.0))
+        assert abs(vx[0]) < constants.C_LIGHT
+
+
+class TestBorisPush:
+    def test_pure_electric_acceleration(self):
+        q, m = constants.Q_ELECTRON, constants.M_ELECTRON
+        dt = 1.0e-15
+        e_field = 1.0e6
+        ux, uy, uz = boris_push_momentum(
+            _single(), _single(), _single(),
+            _single(e_field), _single(), _single(),
+            _single(), _single(), _single(), q, m, dt)
+        assert ux[0] == pytest.approx(q * e_field * dt / m)
+        assert uy[0] == pytest.approx(0.0)
+        assert uz[0] == pytest.approx(0.0)
+
+    def test_pure_magnetic_rotation_conserves_energy(self):
+        q, m = constants.Q_ELECTRON, constants.M_ELECTRON
+        dt = 1.0e-13
+        u0 = 1.0e7
+        ux, uy, uz = boris_push_momentum(
+            _single(u0), _single(), _single(),
+            _single(), _single(), _single(),
+            _single(), _single(), _single(1.0e-2), q, m, dt)
+        mag0 = u0
+        mag1 = np.sqrt(ux[0]**2 + uy[0]**2 + uz[0]**2)
+        assert mag1 == pytest.approx(mag0, rel=1e-12)
+        # the particle must actually have rotated
+        assert abs(uy[0]) > 0.0
+
+    def test_larmor_rotation_direction(self):
+        # an electron in +z magnetic field moving along +x rotates towards +y
+        q, m = constants.Q_ELECTRON, constants.M_ELECTRON
+        ux, uy, _ = boris_push_momentum(
+            _single(1.0e6), _single(), _single(),
+            _single(), _single(), _single(),
+            _single(), _single(), _single(1.0e-3), q, m, 1.0e-13)
+        assert uy[0] > 0.0
+
+    def test_zero_field_is_identity(self):
+        q, m = constants.Q_ELECTRON, constants.M_ELECTRON
+        ux, uy, uz = boris_push_momentum(
+            _single(3.0e6), _single(-2.0e6), _single(1.0e6),
+            _single(), _single(), _single(),
+            _single(), _single(), _single(), q, m, 1.0e-14)
+        assert ux[0] == pytest.approx(3.0e6)
+        assert uy[0] == pytest.approx(-2.0e6)
+        assert uz[0] == pytest.approx(1.0e6)
+
+
+class TestGather:
+    @pytest.fixture
+    def grid(self):
+        return Grid(GridConfig(n_cell=(8, 8, 8), hi=(8.0, 8.0, 8.0)))
+
+    def test_uniform_field_gathers_exactly(self, grid):
+        grid.ex[:] = 5.0
+        value = gather_field(grid, grid.ex, np.array([3.3]), np.array([4.7]),
+                             np.array([1.1]), order=1)
+        assert value[0] == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("order", [1, 3])
+    def test_linear_field_interpolated_linearly(self, grid, order):
+        # a field linear in x is reproduced exactly by first- and third-order
+        # B-spline interpolation away from the periodic wrap
+        x_nodes = np.arange(8)
+        grid.ex[:] = x_nodes[:, None, None].astype(float)
+        value = gather_field(grid, grid.ex, np.array([3.25]), np.array([4.0]),
+                             np.array([4.0]), order=order)
+        assert value[0] == pytest.approx(3.25, rel=1e-12)
+
+    def test_gather_fields_for_tile_shapes(self, grid):
+        tile = ParticleTile((0, 0, 0), (0, 0, 0), (8, 8, 8))
+        tile.append(x=np.array([1.0, 2.0]), y=np.array([1.0, 2.0]),
+                    z=np.array([1.0, 2.0]))
+        fields = gather_fields_for_tile(grid, tile, order=1)
+        assert len(fields) == 6
+        assert all(f.shape == (2,) for f in fields)
+
+
+class TestBorisPusherIntegration:
+    def test_push_moves_particles(self):
+        config = GridConfig(n_cell=(8, 8, 8), hi=(8.0, 8.0, 8.0))
+        grid = Grid(config)
+        grid.ez[:] = 1.0e9
+        container = ParticleContainer(config, SpeciesConfig())
+        container.add_particles(grid, x=np.array([4.0]), y=np.array([4.0]),
+                                z=np.array([4.0]))
+        pusher = BorisPusher(shape_order=1)
+        dt = 1.0e-12
+        pusher.push(container, grid, dt)
+        tile = container.nonempty_tiles()[0]
+        # the electron accelerates against Ez
+        assert tile.uz[0] < 0.0
+        assert tile.z[0] != 4.0
