@@ -37,17 +37,20 @@ Matrix Outer-product for High-Performance Particle-in-Cell Simulations*
 
 from repro._version import __version__
 from repro.config import (
+    ExecutionConfig,
     GridConfig,
     HardwareConfig,
     SimulationConfig,
     SortingPolicyConfig,
     SpeciesConfig,
 )
+from repro.exec import create_executor
 from repro.pic.simulation import Simulation
 from repro.core.framework import MatrixPICDeposition
 
 __all__ = [
     "__version__",
+    "ExecutionConfig",
     "GridConfig",
     "HardwareConfig",
     "SimulationConfig",
@@ -55,4 +58,5 @@ __all__ = [
     "SpeciesConfig",
     "Simulation",
     "MatrixPICDeposition",
+    "create_executor",
 ]

@@ -60,19 +60,19 @@ def run_deposition_experiment(workload, configuration: str, *,
     cost_model = cost_model if cost_model is not None else CostModel()
     strategy = make_strategy(configuration, sorting_config=sorting_config,
                              cost_model=cost_model)
-    simulation = workload.build_simulation(deposition=strategy)
-    if scramble and hasattr(workload, "scramble_particles"):
-        workload.scramble_particles(simulation)
+    with workload.build_simulation(deposition=strategy) as simulation:
+        if scramble and hasattr(workload, "scramble_particles"):
+            workload.scramble_particles(simulation)
 
-    for _ in range(warmup_steps):
-        simulation.step()
-    simulation.deposition_counters = KernelCounters()
+        for _ in range(warmup_steps):
+            simulation.step()
+        simulation.deposition_counters = KernelCounters()
 
-    n_steps = workload.max_steps if steps is None else steps
-    start = time.perf_counter()
-    for _ in range(n_steps):
-        simulation.step()
-    wall = time.perf_counter() - start
+        n_steps = workload.max_steps if steps is None else steps
+        start = time.perf_counter()
+        for _ in range(n_steps):
+            simulation.step()
+        wall = time.perf_counter() - start
 
     timing = cost_model.timing(simulation.deposition_counters)
     shape_order = getattr(workload, "shape_order", simulation.config.shape_order)
@@ -120,4 +120,7 @@ def run_simulation_experiment(workload, *, steps: Optional[int] = None
     simulation = workload.build_simulation()
     n_steps = workload.max_steps if steps is None else steps
     simulation.run(n_steps)
+    # release any worker pools; they are recreated lazily if the caller
+    # steps the returned simulation further
+    simulation.shutdown()
     return simulation

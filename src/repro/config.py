@@ -13,6 +13,9 @@ from typing import Sequence, Tuple
 
 from repro import constants
 
+# safe: repro.exec has no runtime dependency back on this module
+from repro.exec.base import SUPPORTED_BACKENDS
+
 #: Marker stored in a GPMA slot that holds no particle (paper:
 #: ``INVALID_PARTICLE_ID``).
 INVALID_PARTICLE_ID = -1
@@ -212,6 +215,43 @@ class LaserConfig:
         return constants.laser_a0_to_field(self.a0, self.wavelength)
 
 
+#: Execution backends understood by :mod:`repro.exec` (re-exported from
+#: the single source of truth next to the executor implementations).
+EXECUTION_BACKENDS = SUPPORTED_BACKENDS
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Tile execution engine selection for the step loop (:mod:`repro.exec`).
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (reference, default), ``"threads"`` (shared-memory
+        thread pool) or ``"processes"`` (chunked process shards).
+    num_shards:
+        Number of contiguous tile shards each per-tile stage is split
+        into; also the worker count of the concurrent backends.  All
+        backends produce bitwise-identical results for the same shard
+        count (see the determinism contract in :mod:`repro.exec.base`).
+    """
+
+    backend: str = "serial"
+    num_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {EXECUTION_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if int(self.num_shards) <= 0:
+            raise ValueError(
+                f"num_shards must be positive, got {self.num_shards}"
+            )
+        object.__setattr__(self, "num_shards", int(self.num_shards))
+
+
 @dataclass(frozen=True)
 class MovingWindowConfig:
     """Moving-window settings (WarpX ``warpx.do_moving_window``)."""
@@ -242,6 +282,7 @@ class SimulationConfig:
     hardware: HardwareConfig = field(default_factory=HardwareConfig)
     laser: LaserConfig | None = None
     moving_window: MovingWindowConfig = field(default_factory=MovingWindowConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     seed: int = 12345
 
     def __post_init__(self) -> None:

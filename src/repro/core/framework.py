@@ -15,7 +15,7 @@ every step, incremental + adaptive global sort).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,13 +27,69 @@ from repro.hardware.cost_model import CostModel
 from repro.hardware.counters import KernelCounters
 from repro.pic.deposition.base import DepositionKernel
 from repro.pic.grid import Grid
-from repro.pic.particles import ParticleContainer
+from repro.pic.particles import ParticleContainer, ParticleTile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import TileExecutor
 
 #: Supported sorting modes.
 SORT_NONE = "none"
 SORT_GLOBAL_EVERY_STEP = "global_every_step"
 SORT_INCREMENTAL = "incremental"
 _SORT_MODES = (SORT_NONE, SORT_GLOBAL_EVERY_STEP, SORT_INCREMENTAL)
+
+
+def _sort_and_deposit_tile(strategy: "MatrixPICDeposition", grid: Grid,
+                           target: Grid, tile: ParticleTile, charge: float,
+                           order: int, counters: KernelCounters,
+                           step_stats: StepSortStats) -> bool:
+    """Sort (as configured) and deposit one tile; returns fallback use.
+
+    The single source of the per-tile sequence shared by the serial loop
+    and the shard tasks: ``grid`` provides geometry/fields for the sorter
+    and kernel selection, ``target`` receives the currents (the real grid
+    on the serial path, a shard-private scratch grid otherwise).
+    """
+    ordering = None
+    if strategy.sort_mode == SORT_INCREMENTAL:
+        tile_stats = strategy.sorter.incremental_update_tile(
+            grid, tile, counters)
+        step_stats.merge(tile_stats)
+        ordering = strategy.sorter.iteration_order(tile)
+    elif strategy.sort_mode == SORT_GLOBAL_EVERY_STEP:
+        tile_stats = strategy.sorter.global_sort_tile(grid, tile, counters)
+        step_stats.merge(tile_stats)
+        # after a physical sort the storage order *is* the cell order
+        ordering = None
+    kernel, used_fallback = strategy._pick_kernel(grid, tile)
+    kernel.deposit_tile(target, tile, charge, order, counters,
+                        ordering=ordering)
+    return used_fallback
+
+
+def _matrix_pic_shard(strategy: "MatrixPICDeposition", grid: Grid,
+                      tiles: List[ParticleTile], charge: float, order: int
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 KernelCounters, StepSortStats, int]:
+    """Executor task: sort + deposit one shard of tiles into private scratch.
+
+    The incremental sorter's state lives on the tiles themselves
+    (``tile.sorter``), so shards may run concurrently as long as each tile
+    belongs to exactly one shard; the shared ``grid`` is only read (for
+    geometry and fields).  Currents land in a shard-private scratch grid,
+    counters and sort statistics in shard-private objects — the caller
+    merges everything in shard order.
+    """
+    scratch = Grid(grid.config)
+    counters = KernelCounters()
+    step_stats = StepSortStats()
+    fallback_tiles = 0
+    for tile in tiles:
+        fallback_tiles += int(_sort_and_deposit_tile(
+            strategy, grid, scratch, tile, charge, order, counters,
+            step_stats))
+    return (scratch.jx, scratch.jy, scratch.jz, counters, step_stats,
+            fallback_tiles)
 
 
 class MatrixPICDeposition:
@@ -77,53 +133,76 @@ class MatrixPICDeposition:
 
     # ------------------------------------------------------------------
     def run_step(self, grid: Grid, container: ParticleContainer,
-                 order: int, step: int) -> KernelCounters:
-        """Sort (as configured) and deposit one species for one step."""
+                 order: int, step: int,
+                 executor: "TileExecutor | None" = None) -> KernelCounters:
+        """Sort (as configured) and deposit one species for one step.
+
+        With a multi-shard ``executor`` the per-tile sort + deposit work
+        is sharded (see :func:`_matrix_pic_shard`) and the per-shard
+        scratch currents, counters and sort statistics merge in shard
+        order.  The process backend runs the *same* shard tasks inline in
+        this process — the incremental sorter mutates tile-attached GPMA
+        state that cannot cross a process boundary — so the reduction
+        tree, and hence the deposited current, stays bitwise identical to
+        the serial and threaded backends at the same shard count.  The
+        adaptive global re-sorting policy always evaluates serially on the
+        merged statistics.
+        """
         counters = KernelCounters()
         step_stats = StepSortStats()
+        occupied = container.nonempty_tiles()
 
-        for tile in container.iter_tiles():
-            if tile.num_particles == 0:
-                continue
-            ordering = None
-            if self.sort_mode == SORT_INCREMENTAL:
-                tile_stats = self.sorter.incremental_update_tile(
-                    grid, tile, counters)
-                step_stats.merge(tile_stats)
-                ordering = self.sorter.iteration_order(tile)
-            elif self.sort_mode == SORT_GLOBAL_EVERY_STEP:
-                tile_stats = self.sorter.global_sort_tile(grid, tile, counters)
-                step_stats.merge(tile_stats)
-                # after a physical sort the storage order *is* the cell order
-                ordering = None
-            kernel = self._select_kernel(grid, tile)
-            kernel.deposit_tile(grid, tile, container.charge, order,
-                                counters, ordering=ordering)
+        if executor is None or executor.is_trivial or len(occupied) <= 1:
+            for tile in occupied:
+                self.fallback_tiles += int(_sort_and_deposit_tile(
+                    self, grid, grid, tile, container.charge, order,
+                    counters, step_stats))
+        else:
+            from repro.exec import TileTask
+
+            tasks = [
+                TileTask(_matrix_pic_shard,
+                         (self, grid, shard, container.charge, order))
+                for shard in executor.partition(occupied)
+            ]
+            if executor.shares_memory:
+                results = executor.run(tasks)
+            else:
+                results = [task() for task in tasks]
+            for jx, jy, jz, shard_counters, shard_stats, fallback in results:
+                grid.jx += jx
+                grid.jy += jy
+                grid.jz += jz
+                counters.merge(shard_counters)
+                step_stats.merge(shard_stats)
+                self.fallback_tiles += fallback
 
         if self.sort_mode == SORT_INCREMENTAL:
             self._update_global_sort_policy(grid, container, counters, step_stats)
         return counters
 
     # ------------------------------------------------------------------
-    def _select_kernel(self, grid: Grid, tile) -> DepositionKernel:
+    def _pick_kernel(self, grid: Grid, tile) -> Tuple[DepositionKernel, bool]:
         """Pick the MPU kernel or the VPU fallback for one tile.
 
         The fallback triggers when the tile's average particles per
         *occupied* cell drops below ``vpu_fallback_ppc`` — sparse regions
         where the per-cell staging and tile-register overheads of the MPU
-        path are not amortised (paper §6.1 recommends ~8 PPC).
+        path are not amortised (paper §6.1 recommends ~8 PPC).  Returns
+        the kernel plus whether the fallback was chosen; the caller owns
+        the ``fallback_tiles`` accounting so shard tasks stay free of
+        shared-state writes.
         """
         if self.vpu_fallback_ppc is None or self.fallback_kernel is None:
-            return self.kernel
+            return self.kernel, False
         cells = tile.local_cell_ids(grid)
         occupied = np.unique(cells).size if cells.size else 0
         if occupied == 0:
-            return self.kernel
+            return self.kernel, False
         density = tile.num_particles / occupied
         if density < self.vpu_fallback_ppc:
-            self.fallback_tiles += 1
-            return self.fallback_kernel
-        return self.kernel
+            return self.fallback_kernel, True
+        return self.kernel, False
 
     # ------------------------------------------------------------------
     def _update_global_sort_policy(self, grid: Grid,

@@ -1,0 +1,53 @@
+"""Pluggable tile execution engine for the PIC step loop.
+
+Every per-tile stage of the Matrix-PIC cycle (push, boundary/redistribute
+scan, current deposition, energy reduction) is expressed as a list of
+:class:`TileTask` objects — one per contiguous *shard* of tiles — and
+handed to a :class:`TileExecutor`:
+
+``serial``
+    The reference backend: tasks run inline in submission order.
+``threads``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor`; NumPy's GIL
+    release inside large ufunc loops overlaps shard arithmetic on
+    multi-core machines.
+``processes``
+    A chunked process-shard pool for GIL-bound kernels (``np.add.at``);
+    tasks carry picklable payloads and return their scratch buffers.
+
+All backends obey the determinism contract of :mod:`repro.exec.base`:
+fixed contiguous partition, private per-shard scratch state, serial merge
+in shard order — so for a given shard count the deposited currents and
+merged :class:`~repro.hardware.counters.KernelCounters` are bitwise
+identical whichever backend ran the shards.
+"""
+
+from repro.exec.base import (
+    BACKEND_PROCESSES,
+    BACKEND_SERIAL,
+    BACKEND_THREADS,
+    SUPPORTED_BACKENDS,
+    TileExecutor,
+    TileShard,
+    TileTask,
+    partition_shards,
+)
+from repro.exec.factory import create_executor
+from repro.exec.process import ProcessShardExecutor
+from repro.exec.serial import SerialExecutor
+from repro.exec.threaded import ThreadTileExecutor
+
+__all__ = [
+    "BACKEND_PROCESSES",
+    "BACKEND_SERIAL",
+    "BACKEND_THREADS",
+    "SUPPORTED_BACKENDS",
+    "TileExecutor",
+    "TileShard",
+    "TileTask",
+    "partition_shards",
+    "create_executor",
+    "ProcessShardExecutor",
+    "SerialExecutor",
+    "ThreadTileExecutor",
+]

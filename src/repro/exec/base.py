@@ -1,0 +1,163 @@
+"""Tile executor protocol and shard partitioning.
+
+The Matrix-PIC step loop is embarrassingly parallel over particle tiles:
+the pusher, the boundary/redistribution scan and current deposition all
+operate on one tile at a time.  The executor subsystem makes that
+parallelism explicit and pluggable: a :class:`TileExecutor` runs a list of
+:class:`TileTask` objects — one per *shard*, a contiguous chunk of tiles —
+and returns their results **in task order**, regardless of the order in
+which the backend finished them.
+
+Determinism contract
+--------------------
+Every caller follows the same discipline so that all backends produce
+identical results:
+
+1. tiles are partitioned into contiguous shards with
+   :func:`partition_shards` (a pure function of the tile list and shard
+   count),
+2. each shard accumulates into private scratch state (grid current
+   buffers, :class:`~repro.hardware.counters.KernelCounters`, partial
+   sums), never into shared state,
+3. the caller merges the per-shard results serially in shard-index order.
+
+Because scratch buffers start from zero and the merge order is fixed, the
+floating-point reduction tree is a pure function of the shard partition —
+the serial, threaded and process backends are bitwise identical for the
+same shard count.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Backend names accepted by :class:`repro.config.ExecutionConfig`.
+BACKEND_SERIAL = "serial"
+BACKEND_THREADS = "threads"
+BACKEND_PROCESSES = "processes"
+SUPPORTED_BACKENDS = (BACKEND_SERIAL, BACKEND_THREADS, BACKEND_PROCESSES)
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """One unit of executor work: a function applied to a shard.
+
+    ``fn`` must be a module-level function (process backends pickle it) and
+    ``args`` its positional payload.  Backends that share the caller's
+    address space simply invoke the task; the process backend ships
+    ``(fn, args)`` to a worker and returns the pickled result.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+
+    def __call__(self) -> Any:
+        return self.fn(*self.args)
+
+
+@dataclass(frozen=True)
+class TileShard:
+    """A contiguous chunk of a container's tiles, the unit of scheduling."""
+
+    #: position of the shard in the partition (also its merge rank)
+    index: int
+    #: indices into the caller's tile list, in ascending order
+    tile_indices: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tile_indices)
+
+
+def partition_shards(num_items: int, num_shards: int) -> List[TileShard]:
+    """Split ``range(num_items)`` into at most ``num_shards`` contiguous shards.
+
+    The split follows :func:`numpy.array_split` semantics (first shards get
+    the extra items) but never emits an empty shard; with fewer items than
+    shards the partition degenerates to one item per shard.  The result is
+    a pure function of ``(num_items, num_shards)`` — the cornerstone of the
+    cross-backend determinism contract.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if num_items <= 0:
+        return []
+    shards = min(num_shards, num_items)
+    base, extra = divmod(num_items, shards)
+    out: List[TileShard] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(TileShard(index=index,
+                             tile_indices=tuple(range(start, start + size))))
+        start += size
+    return out
+
+
+class TileExecutor(abc.ABC):
+    """Executes tile tasks, one per shard, preserving task order.
+
+    Attributes
+    ----------
+    name:
+        Backend identifier (one of :data:`SUPPORTED_BACKENDS`).
+    num_shards:
+        Target number of shards callers should partition into.  This is a
+        scheduling hint, not a hard cap — callers may submit fewer tasks
+        when a container has fewer non-empty tiles.
+    shares_memory:
+        True when tasks run in the caller's address space, i.e. in-place
+        mutation of tiles is visible to the caller.  The process backend is
+        the only one for which this is False; stages whose tasks mutate
+        shared state (incremental sorters, tile SoA arrays) fall back to a
+        functional payload path or to inline execution when it is unset.
+    """
+
+    name: str = "abstract"
+    shares_memory: bool = True
+
+    def __init__(self, num_shards: int = 1):
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, tasks: Sequence[TileTask]) -> List[Any]:
+        """Run all tasks and return their results in task order."""
+
+    def shutdown(self) -> None:
+        """Release any worker pools held by the backend."""
+
+    def __enter__(self) -> "TileExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True when the executor cannot outrun the plain serial loop.
+
+        Keyed on the shard count alone — a single-shard thread or process
+        pool gains nothing either — so that *every* backend takes the same
+        (inline) code path at one shard.  Deciding this per backend would
+        break the cross-backend bitwise contract: the inline loop deposits
+        straight into the possibly non-zero grid, the sharded path
+        accumulates in zeroed scratch first, and the two reduction trees
+        differ once the grid already holds another species' currents.
+        """
+        return self.num_shards == 1
+
+    def partition(self, items: Sequence[T]) -> List[List[T]]:
+        """Chunk ``items`` into per-shard lists following the fixed partition."""
+        shards = partition_shards(len(items), self.num_shards)
+        return [[items[i] for i in shard.tile_indices] for shard in shards]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_shards={self.num_shards})"

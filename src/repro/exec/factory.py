@@ -1,0 +1,38 @@
+"""Construct a tile executor from an :class:`repro.config.ExecutionConfig`."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exec.base import (
+    BACKEND_PROCESSES,
+    BACKEND_SERIAL,
+    BACKEND_THREADS,
+    TileExecutor,
+)
+from repro.exec.process import ProcessShardExecutor
+from repro.exec.serial import SerialExecutor
+from repro.exec.threaded import ThreadTileExecutor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import ExecutionConfig
+
+_BACKENDS = {
+    BACKEND_SERIAL: SerialExecutor,
+    BACKEND_THREADS: ThreadTileExecutor,
+    BACKEND_PROCESSES: ProcessShardExecutor,
+}
+
+
+def create_executor(config: "ExecutionConfig | None" = None) -> TileExecutor:
+    """The executor selected by ``config`` (default: 1-shard serial)."""
+    if config is None:
+        return SerialExecutor(1)
+    try:
+        cls = _BACKENDS[config.backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {config.backend!r}; "
+            f"expected one of {tuple(_BACKENDS)}"
+        ) from None
+    return cls(config.num_shards)

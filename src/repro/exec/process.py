@@ -1,0 +1,85 @@
+"""Chunked process-shard executor backend.
+
+Each :class:`~repro.exec.base.TileTask` carries a module-level function
+plus a picklable payload (tile SoA arrays, a :class:`repro.config.GridConfig`,
+scalars).  The backend ships one task per shard to a persistent
+``ProcessPoolExecutor`` — chunking tiles into shards amortises the IPC
+cost over many tiles — and returns the pickled results in task order.
+
+Because workers live in separate address spaces this backend cannot see
+in-place mutation (``shares_memory = False``): callers use functional
+shard workers that *return* their scratch buffers, and the caller merges
+them in shard order, which keeps the results bitwise identical to the
+serial and threaded backends under the determinism contract of
+:mod:`repro.exec.base`.
+
+The pool prefers the ``fork`` start method (workers inherit ``sys.path``
+and the imported library, so no re-import cost per task) and falls back
+to the platform default elsewhere.  Environments that forbid spawning
+processes altogether (some sandboxes block the semaphores multiprocessing
+needs) degrade to inline serial execution; :attr:`ProcessShardExecutor.degraded`
+records that the fallback was taken so benchmarks can report it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from typing import Any, List, Optional, Sequence
+
+from repro.exec.base import BACKEND_PROCESSES, TileExecutor, TileTask
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ProcessShardExecutor(TileExecutor):
+    """Run each tile task in a worker process, preserving task order."""
+
+    name = BACKEND_PROCESSES
+    shares_memory = False
+
+    def __init__(self, num_shards: int = 2):
+        super().__init__(num_shards)
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        #: True once process creation failed and tasks run inline instead
+        self.degraded = False
+
+    def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        if self.degraded:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.num_shards,
+                    mp_context=_preferred_context(),
+                )
+            except (OSError, PermissionError, ValueError):
+                self.degraded = True
+                return None
+        return self._pool
+
+    def run(self, tasks: Sequence[TileTask]) -> List[Any]:
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [task() for task in tasks]
+        try:
+            futures = [pool.submit(task.fn, *task.args) for task in tasks]
+            concurrent.futures.wait(futures)
+            return [f.result() for f in futures]
+        except concurrent.futures.process.BrokenProcessPool:
+            # a worker died (OOM, sandbox kill): degrade rather than wedge
+            self.shutdown()
+            self.degraded = True
+            return [task() for task in tasks]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

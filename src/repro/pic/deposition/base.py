@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.pic.grid import Grid
 from repro.pic.particles import ParticleContainer, ParticleTile
 from repro.pic.pusher import velocities
 from repro.pic.shapes import shape_factors, shape_support
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import TileExecutor
 
 #: Effective FP64 operations per particle of the canonical scalar deposition
 #: algorithm, used as the numerator of the Table 3 peak-efficiency metric.
@@ -146,7 +149,9 @@ def scatter_tile_currents(grid: Grid, data: TileDepositionData) -> None:
 
     Used by kernels whose instrumentation differs but whose arithmetic is
     the straightforward per-node accumulation (baseline and rhocell paths
-    both reduce to this formula).
+    both reduce to this formula).  Tile-shard executor tasks point ``grid``
+    at a shard-private scratch :class:`Grid`, so the accumulation target is
+    always ``grid.current_arrays()``.
     """
     if data.num_particles == 0:
         return
@@ -163,6 +168,29 @@ def scatter_tile_currents(grid: Grid, data: TileDepositionData) -> None:
                 np.add.at(jx, (gx, gy, gz), data.wqx * w)
                 np.add.at(jy, (gx, gy, gz), data.wqy * w)
                 np.add.at(jz, (gx, gy, gz), data.wqz * w)
+
+
+def deposit_kernel_shard(kernel: "DepositionKernel", grid_config,
+                         payloads: Tuple, charge: float, order: int
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                    KernelCounters]:
+    """Executor task: deposit one shard of tiles into private scratch.
+
+    Builds a scratch :class:`Grid` (same geometry, zeroed currents) so the
+    kernel's ``grid.current_arrays()`` writes land in shard-private
+    buffers, then runs the kernel over the shard's tiles in order.  Works
+    identically in-process (arrays shared by reference, zero copies) and
+    in a worker process (payloads pickled); the caller merges the returned
+    ``(jx, jy, jz, counters)`` in shard order.
+    """
+    from repro.pic.particles import tile_from_payload
+
+    scratch = Grid(grid_config)
+    counters = KernelCounters()
+    for payload in payloads:
+        tile = tile_from_payload(payload)
+        kernel.deposit_tile(scratch, tile, charge, order, counters)
+    return scratch.jx, scratch.jy, scratch.jz, counters
 
 
 class DepositionKernel(abc.ABC):
@@ -184,14 +212,41 @@ class DepositionKernel(abc.ABC):
         """
 
     def deposit(self, grid: Grid, container: ParticleContainer, order: int,
-                counters: Optional[KernelCounters] = None) -> KernelCounters:
-        """Deposit the whole container; currents are *added* to the grid."""
+                counters: Optional[KernelCounters] = None,
+                executor: "TileExecutor | None" = None) -> KernelCounters:
+        """Deposit the whole container; currents are *added* to the grid.
+
+        With an ``executor`` the non-empty tiles are partitioned into
+        contiguous shards, each deposited into private scratch buffers by
+        :func:`deposit_kernel_shard`, and the scratch currents and
+        counters are merged in shard order — bitwise identical across
+        backends for a given shard count.
+        """
         if counters is None:
             counters = KernelCounters()
-        for tile in container.iter_tiles():
-            if tile.num_particles == 0:
-                continue
-            self.deposit_tile(grid, tile, container.charge, order, counters)
+        if executor is None or executor.is_trivial:
+            for tile in container.iter_tiles():
+                if tile.num_particles == 0:
+                    continue
+                self.deposit_tile(grid, tile, container.charge, order,
+                                  counters)
+            return counters
+
+        from repro.exec import TileTask
+        from repro.pic.particles import tile_payload
+
+        shards = executor.partition(container.nonempty_tiles())
+        tasks = [
+            TileTask(deposit_kernel_shard,
+                     (self, grid.config, tuple(tile_payload(t) for t in shard),
+                      container.charge, order))
+            for shard in shards
+        ]
+        for jx, jy, jz, shard_counters in executor.run(tasks):
+            grid.jx += jx
+            grid.jy += jy
+            grid.jz += jz
+            counters.merge(shard_counters)
         return counters
 
     # ------------------------------------------------------------------

@@ -5,39 +5,65 @@ scatter-add over all particles of a container.  They carry no hardware
 instrumentation and are therefore also the fast path used by the plain
 simulation loop and by the physics-level tests (energy conservation, charge
 conservation, LWFA wakefield structure).
+
+Both entry points accept an optional tile executor (:mod:`repro.exec`):
+the container's non-empty tiles are partitioned into contiguous shards,
+every shard scatters into a private scratch grid, and the scratch buffers
+are merged in shard order.  Because each scratch buffer starts at zero and
+the merge order is fixed, the result is bitwise identical whichever
+backend (serial, threads, processes) ran the shards — and, for a single
+shard, identical to the historical inline loop.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
 
 from repro.pic.deposition.base import prepare_tile_data, scatter_tile_currents
 from repro.pic.grid import Grid
-from repro.pic.particles import ParticleContainer
+from repro.pic.particles import (
+    ParticleContainer,
+    tile_from_payload,
+    tile_payload,
+)
 from repro.pic.shapes import shape_factors, shape_support
 
-
-def deposit_reference(grid: Grid, container: ParticleContainer, order: int) -> None:
-    """Add the container's current density to the grid (numerical reference)."""
-    for tile in container.iter_tiles():
-        if tile.num_particles == 0:
-            continue
-        data = prepare_tile_data(grid, tile, container.charge, order)
-        scatter_tile_currents(grid, data)
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import TileExecutor
 
 
-def deposit_rho_reference(grid: Grid, container: ParticleContainer, order: int) -> None:
-    """Add the container's charge density to ``grid.rho``."""
+def _reference_shard_currents(grid_config, payloads: Tuple, charge: float,
+                              order: int
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Executor task: scatter one shard's current into a scratch grid."""
+    scratch = Grid(grid_config)
+    for payload in payloads:
+        tile = tile_from_payload(payload)
+        data = prepare_tile_data(scratch, tile, charge, order)
+        scatter_tile_currents(scratch, data)
+    return scratch.jx, scratch.jy, scratch.jz
+
+
+def _reference_shard_rho(grid_config, payloads: Tuple, charge: float,
+                         order: int) -> np.ndarray:
+    """Executor task: scatter one shard's charge density into scratch."""
+    scratch = Grid(grid_config)
+    _rho_tiles(scratch, [tile_from_payload(p) for p in payloads], charge, order)
+    return scratch.rho
+
+
+def _rho_tiles(grid: Grid, tiles: List, charge: float, order: int) -> None:
+    """Add the charge density of ``tiles`` to ``grid.rho``."""
     cell_volume = float(np.prod(grid.cell_size))
     support = shape_support(order)
-    for tile in container.iter_tiles():
-        if tile.num_particles == 0:
-            continue
+    for tile in tiles:
         xi, yi, zi = grid.normalized_position(tile.x, tile.y, tile.z)
         bx, wx = shape_factors(xi, order)
         by, wy = shape_factors(yi, order)
         bz, wz = shape_factors(zi, order)
-        q = container.charge * tile.w / cell_volume
+        q = charge * tile.w / cell_volume
         for i in range(support):
             gx = grid.wrap_node_index(bx + i, axis=0)
             for j in range(support):
@@ -46,3 +72,47 @@ def deposit_rho_reference(grid: Grid, container: ParticleContainer, order: int) 
                 for k in range(support):
                     gz = grid.wrap_node_index(bz + k, axis=2)
                     np.add.at(grid.rho, (gx, gy, gz), q * wij * wz[:, k])
+
+
+def deposit_reference(grid: Grid, container: ParticleContainer, order: int,
+                      executor: "TileExecutor | None" = None) -> None:
+    """Add the container's current density to the grid (numerical reference)."""
+    occupied = container.nonempty_tiles()
+    if executor is None or executor.is_trivial or len(occupied) <= 1:
+        for tile in occupied:
+            data = prepare_tile_data(grid, tile, container.charge, order)
+            scatter_tile_currents(grid, data)
+        return
+
+    from repro.exec import TileTask
+
+    tasks = [
+        TileTask(_reference_shard_currents,
+                 (grid.config, tuple(tile_payload(t) for t in shard),
+                  container.charge, order))
+        for shard in executor.partition(occupied)
+    ]
+    for jx, jy, jz in executor.run(tasks):
+        grid.jx += jx
+        grid.jy += jy
+        grid.jz += jz
+
+
+def deposit_rho_reference(grid: Grid, container: ParticleContainer, order: int,
+                          executor: "TileExecutor | None" = None) -> None:
+    """Add the container's charge density to ``grid.rho``."""
+    occupied = container.nonempty_tiles()
+    if executor is None or executor.is_trivial or len(occupied) <= 1:
+        _rho_tiles(grid, occupied, container.charge, order)
+        return
+
+    from repro.exec import TileTask
+
+    tasks = [
+        TileTask(_reference_shard_rho,
+                 (grid.config, tuple(tile_payload(t) for t in shard),
+                  container.charge, order))
+        for shard in executor.partition(occupied)
+    ]
+    for rho in executor.run(tasks):
+        grid.rho += rho

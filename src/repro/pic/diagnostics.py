@@ -28,11 +28,17 @@ STAGES = (
 
 
 class RuntimeBreakdown:
-    """Accumulates wall-clock seconds per PIC stage."""
+    """Accumulates wall-clock seconds per PIC stage.
 
-    def __init__(self) -> None:
+    ``executor_name`` records which tile execution backend
+    (:mod:`repro.exec`) produced the timings, so scaling studies can label
+    their breakdowns.
+    """
+
+    def __init__(self, executor_name: str = "serial") -> None:
         self.seconds: Dict[str, float] = defaultdict(float)
         self.steps = 0
+        self.executor_name = executor_name
 
     def record(self, stage: str, seconds: float) -> None:
         """Add ``seconds`` to the given stage."""
@@ -105,9 +111,15 @@ class EnergyDiagnostic:
     history: List[EnergyRecord] = field(default_factory=list)
 
     def record(self, step: int, grid: Grid,
-               containers: List[ParticleContainer]) -> EnergyRecord:
-        """Record energies at the given step and return the snapshot."""
-        kinetic = sum(c.kinetic_energy() for c in containers)
+               containers: List[ParticleContainer],
+               executor=None) -> EnergyRecord:
+        """Record energies at the given step and return the snapshot.
+
+        ``executor`` shards the per-tile kinetic-energy sums over the tile
+        execution engine (:mod:`repro.exec`); the per-container reduction
+        order stays fixed either way.
+        """
+        kinetic = sum(c.kinetic_energy(executor=executor) for c in containers)
         snapshot = EnergyRecord(step=step, field_energy=grid.field_energy(),
                                 kinetic_energy=kinetic)
         self.history.append(snapshot)

@@ -15,14 +15,47 @@ their tile into the owning tile.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.config import GridConfig, SpeciesConfig
 from repro.pic.grid import Grid
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import TileExecutor
+
 _SOA_FIELDS = ("x", "y", "z", "ux", "uy", "uz", "w")
+
+
+def tile_payload(tile: "ParticleTile") -> Tuple:
+    """Picklable snapshot of a tile for the process-shard executor.
+
+    The arrays are passed by reference, so building a payload is free for
+    shared-memory backends; only the process backend pays the pickling
+    cost when the payload crosses the process boundary.
+    """
+    soa = {name: getattr(tile, name) for name in _SOA_FIELDS}
+    soa["ids"] = tile.ids
+    return (tile.tile_index, tile.cell_lo, tile.cell_hi, soa)
+
+
+def tile_from_payload(payload: Tuple) -> "ParticleTile":
+    """Rebuild a :class:`ParticleTile` from :func:`tile_payload` output."""
+    tile_index, cell_lo, cell_hi, soa = payload
+    tile = ParticleTile(tile_index, cell_lo, cell_hi)
+    for name in _SOA_FIELDS:
+        setattr(tile, name, soa[name])
+    tile.ids = soa["ids"]
+    return tile
 
 
 class ParticleTile:
@@ -132,6 +165,62 @@ class ParticleTile:
         self.ids = self.ids[order]
 
 
+def _apply_tile_boundary(tile: ParticleTile, lo: np.ndarray, hi: np.ndarray,
+                         extent: np.ndarray, periodic: Sequence[bool]) -> int:
+    """Wrap/absorb one tile's particles in place; returns removed count."""
+    coords = [tile.x, tile.y, tile.z]
+    absorb_mask = np.zeros(tile.num_particles, dtype=bool)
+    for axis, arr in enumerate(coords):
+        if periodic[axis]:
+            arr[...] = lo[axis] + np.mod(arr - lo[axis], extent[axis])
+        else:
+            absorb_mask |= (arr < lo[axis]) | (arr >= hi[axis])
+    if absorb_mask.any():
+        removed = tile.remove(absorb_mask)
+        return int(removed["ids"].shape[0])
+    return 0
+
+
+def _boundary_shard(tiles: List[ParticleTile], lo: np.ndarray, hi: np.ndarray,
+                    extent: np.ndarray, periodic: Tuple[bool, ...]) -> int:
+    """Executor task: boundary conditions for one shard of tiles (in place)."""
+    return sum(_apply_tile_boundary(tile, lo, hi, extent, periodic)
+               for tile in tiles)
+
+
+def _redistribute_scan_shard(container: "ParticleContainer", grid: Grid,
+                             entries: List[Tuple[int, ParticleTile]]
+                             ) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+    """Executor task: find each shard tile's leaving particles (read-only).
+
+    Returns ``(tile_id, leaving_mask, owners_of_leaving)`` triples; the
+    caller applies the removals and appends serially so the merge order —
+    and therefore the destination tiles' storage order — is independent of
+    the backend's scheduling.
+    """
+    out: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    for tile_id, tile in entries:
+        ix, iy, iz = grid.cell_index(tile.x, tile.y, tile.z)
+        owner = container.tile_of_cell(ix, iy, iz)
+        leaving = owner != tile_id
+        if leaving.any():
+            out.append((tile_id, leaving, owner[leaving]))
+    return out
+
+
+def _kinetic_shard(tiles: List[ParticleTile], mass: float) -> float:
+    """Executor task: relativistic kinetic energy of one shard of tiles."""
+    from repro import constants
+
+    total = 0.0
+    c2 = constants.C_LIGHT**2
+    for tile in tiles:
+        u2 = tile.ux**2 + tile.uy**2 + tile.uz**2
+        gamma = np.sqrt(1.0 + u2 / c2)
+        total += float(np.sum(tile.w * (gamma - 1.0)) * mass * c2)
+    return total
+
+
 class ParticleContainer:
     """All particles of one species, split into tiles over the domain."""
 
@@ -219,49 +308,64 @@ class ParticleContainer:
             )
 
     # ------------------------------------------------------------------
-    def apply_boundary_conditions(self, grid: Grid) -> int:
+    def apply_boundary_conditions(self, grid: Grid,
+                                  executor: "TileExecutor | None" = None
+                                  ) -> int:
         """Wrap periodic axes and absorb particles leaving open boundaries.
 
         Returns the number of particles removed by absorbing boundaries.
+        Tiles are independent, so with a shared-memory ``executor`` the
+        per-tile work runs one shard per task; the process backend falls
+        back to the inline loop (shipping SoA arrays both ways would cost
+        more than this stage's arithmetic).
         """
-        removed_total = 0
         lo, hi = grid.lo, grid.hi
         extent = hi - lo
-        periodic = [bc == "periodic" for bc in self.grid_config.particle_boundary]
-        for tile in self.tiles:
-            if tile.num_particles == 0:
-                continue
-            coords = [tile.x, tile.y, tile.z]
-            absorb_mask = np.zeros(tile.num_particles, dtype=bool)
-            for axis, arr in enumerate(coords):
-                if periodic[axis]:
-                    arr[...] = lo[axis] + np.mod(arr - lo[axis], extent[axis])
-                else:
-                    absorb_mask |= (arr < lo[axis]) | (arr >= hi[axis])
-            if absorb_mask.any():
-                removed = tile.remove(absorb_mask)
-                removed_total += removed["ids"].shape[0]
-        return removed_total
+        periodic = tuple(
+            bc == "periodic" for bc in self.grid_config.particle_boundary
+        )
+        occupied = self.nonempty_tiles()
+        if (executor is None or executor.is_trivial
+                or not executor.shares_memory or len(occupied) <= 1):
+            return sum(_apply_tile_boundary(tile, lo, hi, extent, periodic)
+                       for tile in occupied)
 
-    def redistribute(self, grid: Grid) -> int:
+        from repro.exec import TileTask
+
+        tasks = [TileTask(_boundary_shard, (shard, lo, hi, extent, periodic))
+                 for shard in executor.partition(occupied)]
+        return sum(executor.run(tasks))
+
+    def redistribute(self, grid: Grid,
+                     executor: "TileExecutor | None" = None) -> int:
         """Move particles that left their tile into the owning tile.
 
         Returns the number of particles moved between tiles.  Boundary
         conditions must already have been applied, so every particle maps to
         a valid tile.
+
+        The read-only scan (cell index + owning tile of every particle)
+        is sharded over the ``executor``; removals and appends — the part
+        that mutates more than one tile — always run serially in ascending
+        source-tile order, so the destination tiles' storage order is
+        identical for every backend.
         """
+        entries = [(tile_id, tile) for tile_id, tile in enumerate(self.tiles)
+                   if tile.num_particles > 0]
+        if (executor is None or executor.is_trivial
+                or not executor.shares_memory or len(entries) <= 1):
+            scans = _redistribute_scan_shard(self, grid, entries)
+        else:
+            from repro.exec import TileTask
+
+            tasks = [TileTask(_redistribute_scan_shard, (self, grid, shard))
+                     for shard in executor.partition(entries)]
+            scans = [item for result in executor.run(tasks) for item in result]
+
         moved_total = 0
         pending: Dict[int, List[Dict[str, np.ndarray]]] = {}
-        for tile_id, tile in enumerate(self.tiles):
-            if tile.num_particles == 0:
-                continue
-            ix, iy, iz = grid.cell_index(tile.x, tile.y, tile.z)
-            owner = self.tile_of_cell(ix, iy, iz)
-            leaving = owner != tile_id
-            if not leaving.any():
-                continue
-            removed = tile.remove(leaving)
-            owners = owner[leaving]
+        for tile_id, leaving, owners in scans:
+            removed = self.tiles[tile_id].remove(leaving)
             for dest in np.unique(owners):
                 sel = owners == dest
                 pending.setdefault(int(dest), []).append(
@@ -286,16 +390,31 @@ class ParticleContainer:
             for name in (*_SOA_FIELDS, "ids")
         }
 
-    def kinetic_energy(self) -> float:
-        """Total relativistic kinetic energy of the species [J]."""
-        from repro import constants
+    def kinetic_energy(self, executor: "TileExecutor | None" = None) -> float:
+        """Total relativistic kinetic energy of the species [J].
 
-        total = 0.0
-        c2 = constants.C_LIGHT**2
-        for tile in self.tiles:
-            if tile.num_particles == 0:
-                continue
-            u2 = tile.ux**2 + tile.uy**2 + tile.uz**2
-            gamma = np.sqrt(1.0 + u2 / c2)
-            total += float(np.sum(tile.w * (gamma - 1.0)) * self.mass * c2)
-        return total
+        With an ``executor`` the per-tile sums run one shard per task and
+        the partial sums reduce in shard order (deterministic for a given
+        shard count, though the reduction tree — and hence the last ulp —
+        differs from the executor-less sequential sum).  The process
+        backend computes the same per-shard partial sums inline (shipping
+        SoA arrays would cost more than the sums themselves), so the
+        reduction tree — and the result — is bitwise identical across
+        backends at a fixed shard count.
+        """
+        occupied = self.nonempty_tiles()
+        if executor is None or executor.is_trivial or len(occupied) <= 1:
+            return sum(
+                (_kinetic_shard([tile], self.mass) for tile in occupied), 0.0
+            )
+        if not executor.shares_memory:
+            return sum(
+                (_kinetic_shard(shard, self.mass)
+                 for shard in executor.partition(occupied)), 0.0
+            )
+
+        from repro.exec import TileTask
+
+        tasks = [TileTask(_kinetic_shard, (shard, self.mass))
+                 for shard in executor.partition(occupied)]
+        return sum(executor.run(tasks), 0.0)

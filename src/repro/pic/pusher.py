@@ -7,13 +7,16 @@ rotation / half-acceleration scheme followed by the position advance.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
 
 from repro import constants
 from repro.pic.particles import ParticleContainer, ParticleTile
 from repro.pic.grid import Grid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import TileExecutor
 
 
 def lorentz_factor(ux: np.ndarray, uy: np.ndarray, uz: np.ndarray) -> np.ndarray:
@@ -81,18 +84,93 @@ def push_tile(tile: ParticleTile, fields: Tuple[np.ndarray, ...],
     tile.z = tile.z + vz * dt
 
 
+def _push_shard_inplace(grid: Grid, tiles: List[ParticleTile], charge: float,
+                        mass: float, dt: float, order: int) -> None:
+    """Executor task: gather + push one shard of tiles in place.
+
+    Tiles are independent (the gather reads the shared field arrays, the
+    push writes only the shard's own tiles), so shared-memory backends run
+    shards concurrently without synchronisation.
+    """
+    from repro.pic.gather import gather_fields_for_tile
+
+    for tile in tiles:
+        fields = gather_fields_for_tile(grid, tile, order)
+        push_tile(tile, fields, charge, mass, dt)
+
+
+def _push_shard_remote(grid_config, field_arrays: Tuple[np.ndarray, ...],
+                       payloads: Tuple, charge: float, mass: float, dt: float,
+                       order: int) -> List[Tuple[np.ndarray, ...]]:
+    """Executor task for the process backend: functional gather + push.
+
+    Rebuilds the grid (geometry plus the six field components) in the
+    worker, pushes the shard's tiles, and returns the updated position and
+    momentum arrays; the caller writes them back tile by tile.
+
+    Every shard task ships its own copy of the six field arrays through
+    the pickle channel, so the IPC cost grows with ``num_shards x grid
+    size`` per step.  That is acceptable for the particle-dominated
+    workloads this backend targets (many particles per cell, modest
+    grids); for field-dominated runs prefer ``backend="threads"``, whose
+    shards read the caller's field arrays in place.
+    """
+    from repro.pic.gather import gather_fields_for_tile
+    from repro.pic.particles import tile_from_payload
+
+    grid = Grid(grid_config)
+    grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz = field_arrays
+    out: List[Tuple[np.ndarray, ...]] = []
+    for payload in payloads:
+        tile = tile_from_payload(payload)
+        fields = gather_fields_for_tile(grid, tile, order)
+        push_tile(tile, fields, charge, mass, dt)
+        out.append((tile.x, tile.y, tile.z, tile.ux, tile.uy, tile.uz))
+    return out
+
+
 class BorisPusher:
     """Pushes every tile of a particle container using gathered fields."""
 
     def __init__(self, shape_order: int = 1):
         self.shape_order = shape_order
 
-    def push(self, container: ParticleContainer, grid: Grid, dt: float) -> None:
-        """Gather fields and advance every particle of the container."""
-        from repro.pic.gather import gather_fields_for_tile
+    def push(self, container: ParticleContainer, grid: Grid, dt: float,
+             executor: "TileExecutor | None" = None) -> None:
+        """Gather fields and advance every particle of the container.
 
-        for tile in container.iter_tiles():
-            if tile.num_particles == 0:
-                continue
-            fields = gather_fields_for_tile(grid, tile, self.shape_order)
-            push_tile(tile, fields, container.charge, container.mass, dt)
+        The per-tile push is bitwise independent of the shard partition
+        (no cross-tile accumulation), so every backend produces identical
+        particle state.
+        """
+        occupied = container.nonempty_tiles()
+        if executor is None or executor.is_trivial or len(occupied) <= 1:
+            _push_shard_inplace(grid, occupied, container.charge,
+                                container.mass, dt, self.shape_order)
+            return
+
+        from repro.exec import TileTask
+        from repro.pic.particles import tile_payload
+
+        shards = executor.partition(occupied)
+        if executor.shares_memory:
+            tasks = [
+                TileTask(_push_shard_inplace,
+                         (grid, shard, container.charge, container.mass, dt,
+                          self.shape_order))
+                for shard in shards
+            ]
+            executor.run(tasks)
+            return
+
+        fields = (grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz)
+        tasks = [
+            TileTask(_push_shard_remote,
+                     (grid.config, fields,
+                      tuple(tile_payload(t) for t in shard),
+                      container.charge, container.mass, dt, self.shape_order))
+            for shard in shards
+        ]
+        for shard, results in zip(shards, executor.run(tasks)):
+            for tile, arrays in zip(shard, results):
+                tile.x, tile.y, tile.z, tile.ux, tile.uy, tile.uz = arrays

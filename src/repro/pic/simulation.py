@@ -24,6 +24,7 @@ from typing import List, Optional, Protocol
 import numpy as np
 
 from repro.config import SimulationConfig
+from repro.exec import TileExecutor, create_executor
 from repro.hardware.counters import KernelCounters
 from repro.pic.boundary import FieldBoundaryConditions
 from repro.pic.deposition.reference import deposit_reference
@@ -48,8 +49,14 @@ class DepositionStrategy(Protocol):
     """
 
     def run_step(self, grid: Grid, container: ParticleContainer,
-                 order: int, step: int) -> Optional[KernelCounters]:
-        """Deposit one species for one step."""
+                 order: int, step: int,
+                 executor: Optional[TileExecutor] = None
+                 ) -> Optional[KernelCounters]:
+        """Deposit one species for one step.
+
+        ``executor`` is the simulation's tile executor (:mod:`repro.exec`);
+        strategies may shard their per-tile work over it or ignore it.
+        """
         ...
 
 
@@ -59,8 +66,10 @@ class ReferenceDeposition:
     name = "Reference"
 
     def run_step(self, grid: Grid, container: ParticleContainer,
-                 order: int, step: int) -> Optional[KernelCounters]:
-        deposit_reference(grid, container, order)
+                 order: int, step: int,
+                 executor: Optional[TileExecutor] = None
+                 ) -> Optional[KernelCounters]:
+        deposit_reference(grid, container, order, executor=executor)
         return None
 
 
@@ -97,8 +106,10 @@ class Simulation:
         self.deposition: DepositionStrategy = (
             deposition if deposition is not None else ReferenceDeposition()
         )
+        #: tile execution engine shared by every per-tile stage of the loop
+        self.executor: TileExecutor = create_executor(config.execution)
 
-        self.breakdown = RuntimeBreakdown()
+        self.breakdown = RuntimeBreakdown(executor_name=self.executor.name)
         self.energy = EnergyDiagnostic()
         #: accumulated hardware counters from the deposition strategy
         self.deposition_counters = KernelCounters()
@@ -121,12 +132,14 @@ class Simulation:
 
         with self.breakdown.timeit("field_gather_push"):
             for container in self.containers:
-                self.pusher.push(container, grid, self.dt)
+                self.pusher.push(container, grid, self.dt,
+                                 executor=self.executor)
 
         with self.breakdown.timeit("boundary_redistribute"):
             for container in self.containers:
-                container.apply_boundary_conditions(grid)
-                container.redistribute(grid)
+                container.apply_boundary_conditions(grid,
+                                                    executor=self.executor)
+                container.redistribute(grid, executor=self.executor)
             self.moving_window.advance(grid, self.containers, self.dt,
                                        self.step_index)
 
@@ -134,7 +147,8 @@ class Simulation:
             grid.zero_currents()
             for container in self.containers:
                 counters = self.deposition.run_step(
-                    grid, container, self.config.shape_order, self.step_index
+                    grid, container, self.config.shape_order, self.step_index,
+                    executor=self.executor,
                 )
                 if counters is not None:
                     self.deposition_counters.merge(counters)
@@ -154,9 +168,25 @@ class Simulation:
         """Run ``steps`` steps (defaults to the configured ``max_steps``)."""
         n = self.config.max_steps if steps is None else steps
         if record_energy:
-            self.energy.record(self.step_index, self.grid, self.containers)
+            self.energy.record(self.step_index, self.grid, self.containers,
+                               executor=self.executor)
         for _ in range(n):
             self.step()
             if record_energy:
-                self.energy.record(self.step_index, self.grid, self.containers)
+                self.energy.record(self.step_index, self.grid,
+                                   self.containers, executor=self.executor)
         return self.breakdown
+
+    def shutdown(self) -> None:
+        """Release the executor's worker pools (if any).
+
+        Idempotent; the pools are recreated lazily if the simulation is
+        stepped again afterwards.
+        """
+        self.executor.shutdown()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

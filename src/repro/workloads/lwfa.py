@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import constants
 from repro.config import (
+    ExecutionConfig,
     GridConfig,
     LaserConfig,
     MovingWindowConfig,
@@ -47,6 +48,8 @@ class LWFAWorkload:
     laser_wavelength: float = 0.8e-6
     ramp_fraction: float = 0.2
     sorting: SortingPolicyConfig = field(default_factory=SortingPolicyConfig)
+    #: tile execution engine used by the step loop (:mod:`repro.exec`)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     seed: int = 2026
 
     # ------------------------------------------------------------------
@@ -107,6 +110,7 @@ class LWFAWorkload:
             sorting=self.sorting,
             laser=laser,
             moving_window=window,
+            execution=self.execution,
             seed=self.seed,
         )
 

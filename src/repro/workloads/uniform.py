@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import constants
 from repro.config import (
+    ExecutionConfig,
     GridConfig,
     SimulationConfig,
     SortingPolicyConfig,
@@ -47,6 +48,8 @@ class UniformPlasmaWorkload:
     thermal_velocity: float = 0.01 * constants.C_LIGHT
     field_solver: str = "ckc"
     sorting: SortingPolicyConfig = field(default_factory=SortingPolicyConfig)
+    #: tile execution engine used by the step loop (:mod:`repro.exec`)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     seed: int = 2026
 
     def ppc_triple(self) -> Tuple[int, int, int]:
@@ -91,6 +94,7 @@ class UniformPlasmaWorkload:
             max_steps=self.max_steps,
             field_solver=self.field_solver,
             sorting=self.sorting,
+            execution=self.execution,
             seed=self.seed,
         )
 

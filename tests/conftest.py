@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.config import GridConfig, SpeciesConfig
+from repro.config import GridConfig
 from repro.pic.grid import Grid
-from repro.pic.particles import ParticleContainer
-from repro.pic.plasma import load_uniform_plasma
+
+from helpers import make_plasma  # noqa: F401  (re-exported fixture helper)
 
 
 @pytest.fixture
@@ -28,23 +27,6 @@ def tiled_grid_config() -> GridConfig:
 @pytest.fixture
 def small_grid(small_grid_config) -> Grid:
     return Grid(small_grid_config)
-
-
-def make_plasma(grid_config: GridConfig, ppc=(2, 2, 2), seed: int = 7,
-                momentum_scale: float = 3.0e6):
-    """Grid + container filled with a uniform plasma carrying random momenta."""
-    grid = Grid(grid_config)
-    species = SpeciesConfig(ppc=ppc)
-    container = ParticleContainer(grid_config, species)
-    rng = np.random.default_rng(seed)
-    load_uniform_plasma(grid, container, species, rng)
-    for tile in container.iter_tiles():
-        n = tile.num_particles
-        if n:
-            tile.ux = rng.normal(0.0, momentum_scale, n)
-            tile.uy = rng.normal(0.0, momentum_scale, n)
-            tile.uz = rng.normal(0.0, momentum_scale, n)
-    return grid, container
 
 
 @pytest.fixture

@@ -1,0 +1,35 @@
+"""Shared test helpers.
+
+These live in a plain module (not ``conftest.py``) so test modules can
+import them directly: ``conftest`` is special to pytest and importing it
+with a relative import fails because the ``tests`` directory is not a
+package.  Pytest's default ``prepend`` import mode puts this directory on
+``sys.path``, so ``from helpers import make_plasma`` works everywhere in
+the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GridConfig, SpeciesConfig
+from repro.pic.grid import Grid
+from repro.pic.particles import ParticleContainer
+from repro.pic.plasma import load_uniform_plasma
+
+
+def make_plasma(grid_config: GridConfig, ppc=(2, 2, 2), seed: int = 7,
+                momentum_scale: float = 3.0e6):
+    """Grid + container filled with a uniform plasma carrying random momenta."""
+    grid = Grid(grid_config)
+    species = SpeciesConfig(ppc=ppc)
+    container = ParticleContainer(grid_config, species)
+    rng = np.random.default_rng(seed)
+    load_uniform_plasma(grid, container, species, rng)
+    for tile in container.iter_tiles():
+        n = tile.num_particles
+        if n:
+            tile.ux = rng.normal(0.0, momentum_scale, n)
+            tile.uy = rng.normal(0.0, momentum_scale, n)
+            tile.uz = rng.normal(0.0, momentum_scale, n)
+    return grid, container

@@ -25,7 +25,7 @@ from repro.pic.deposition.rhocell import RhocellDeposition
 from repro.pic.diagnostics import current_residual
 from repro.pic.grid import Grid
 
-from .conftest import make_plasma
+from helpers import make_plasma
 
 KERNELS = {
     "baseline": BaselineDeposition(),

@@ -22,7 +22,7 @@ from repro.core.hybrid_kernel import HybridMPUDeposition
 from repro.core.incremental_sort import TileSortState
 from repro.hardware.cost_model import CostModel
 
-from .conftest import make_plasma
+from helpers import make_plasma
 
 
 class TestMatrixPICDeposition:
