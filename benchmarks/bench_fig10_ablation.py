@@ -14,11 +14,10 @@ framework (FullOpt) across the PPC scan.  The paper's qualitative findings:
 
 from __future__ import annotations
 
-from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_series_table
 from repro.baselines.configs import ABLATION_CONFIGS
 
-from .conftest import BENCH_STEPS, uniform_workload
+from .conftest import BENCH_STEPS, campaign_sweep, uniform_workload
 
 ABLATION_PPC = (8, 64, 128)
 
@@ -28,8 +27,8 @@ def run_ablation():
     throughput = {}
     for ppc in ABLATION_PPC:
         workload = uniform_workload(ppc=ppc)
-        results = sweep_configurations(workload, ABLATION_CONFIGS,
-                                       steps=BENCH_STEPS)
+        results = campaign_sweep(workload, ABLATION_CONFIGS,
+                                 steps=BENCH_STEPS)
         kernel_time[ppc] = {name: r.timing.total for name, r in results.items()}
         throughput[ppc] = {name: r.throughput for name, r in results.items()}
     return kernel_time, throughput

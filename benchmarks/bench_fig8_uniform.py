@@ -12,10 +12,9 @@ cell upward, and the advantage grows with density.
 
 from __future__ import annotations
 
-from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_series_table, speedup_series
 
-from .conftest import BENCH_STEPS, PPC_SWEEP, uniform_workload
+from .conftest import BENCH_STEPS, PPC_SWEEP, campaign_sweep, uniform_workload
 
 CONFIGS = ("Baseline", "MatrixPIC (FullOpt)")
 
@@ -26,7 +25,7 @@ def run_ppc_sweep():
     breakdown = {}
     for ppc in PPC_SWEEP:
         workload = uniform_workload(ppc=ppc)
-        results = sweep_configurations(workload, CONFIGS, steps=BENCH_STEPS)
+        results = campaign_sweep(workload, CONFIGS, steps=BENCH_STEPS)
         kernel_time[ppc] = {name: r.timing.total for name, r in results.items()}
         throughput[ppc] = {name: r.throughput for name, r in results.items()}
         matrix = results["MatrixPIC (FullOpt)"].timing

@@ -14,10 +14,9 @@ the loop.
 
 from __future__ import annotations
 
-from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_series_table, speedup_series
 
-from .conftest import BENCH_STEPS, lwfa_workload
+from .conftest import BENCH_STEPS, campaign_sweep, lwfa_workload
 
 CONFIGS = ("Baseline", "MatrixPIC (FullOpt)")
 LWFA_PPC = (1, 8, 64)
@@ -28,8 +27,8 @@ def run_lwfa_sweep():
     moved_fraction = {}
     for ppc in LWFA_PPC:
         workload = lwfa_workload(ppc=ppc)
-        results = sweep_configurations(workload, CONFIGS, steps=BENCH_STEPS,
-                                       scramble=False)
+        results = campaign_sweep(workload, CONFIGS, steps=BENCH_STEPS,
+                                 scramble=False)
         kernel_time[ppc] = {name: r.timing.total for name, r in results.items()}
         matrix = results["MatrixPIC (FullOpt)"]
         moved_fraction[ppc] = {

@@ -15,17 +15,16 @@ sophistication.  Expected shape (paper values in seconds:
 
 from __future__ import annotations
 
-from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_kernel_table
 from repro.baselines.configs import CIC_COMPARISON_CONFIGS
 
-from .conftest import BENCH_STEPS, uniform_workload
+from .conftest import BENCH_STEPS, campaign_sweep, uniform_workload
 
 
 def run_table1():
     workload = uniform_workload(ppc=128, shape_order=1)
-    return sweep_configurations(workload, CIC_COMPARISON_CONFIGS,
-                                steps=BENCH_STEPS)
+    return campaign_sweep(workload, CIC_COMPARISON_CONFIGS,
+                          steps=BENCH_STEPS)
 
 
 def test_table1_cic_kernel_breakdown(benchmark, print_header):

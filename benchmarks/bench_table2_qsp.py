@@ -8,17 +8,16 @@ hand-tuned VPU kernel, with sorting shrinking to ~2 % of the kernel time.
 
 from __future__ import annotations
 
-from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_kernel_table
 from repro.baselines.configs import QSP_COMPARISON_CONFIGS
 
-from .conftest import BENCH_STEPS, uniform_workload
+from .conftest import BENCH_STEPS, campaign_sweep, uniform_workload
 
 
 def run_table2():
     workload = uniform_workload(ppc=128, shape_order=3)
-    return sweep_configurations(workload, QSP_COMPARISON_CONFIGS,
-                                steps=BENCH_STEPS)
+    return campaign_sweep(workload, QSP_COMPARISON_CONFIGS,
+                          steps=BENCH_STEPS)
 
 
 def test_table2_qsp_kernel_breakdown(benchmark, print_header):

@@ -17,12 +17,11 @@ so the regime is representative — EXPERIMENTS.md records the deviation.
 from __future__ import annotations
 
 from repro.analysis.metrics import peak_efficiency_percent
-from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_efficiency_table
 from repro.baselines.gpu_model import GPUDepositionModel
 from repro.hardware.cost_model import CostModel
 
-from .conftest import BENCH_STEPS, uniform_workload
+from .conftest import BENCH_STEPS, campaign_sweep, uniform_workload
 
 LX2_CONFIGS = ("Baseline", "Rhocell+IncrSort (VPU)", "MatrixPIC (FullOpt)")
 EFFICIENCY_PPC = 64
@@ -31,8 +30,8 @@ EFFICIENCY_PPC = 64
 def run_table3():
     cost_model = CostModel()
     workload = uniform_workload(ppc=EFFICIENCY_PPC, shape_order=3)
-    results = sweep_configurations(workload, LX2_CONFIGS, steps=BENCH_STEPS,
-                                   cost_model=cost_model)
+    results = campaign_sweep(workload, LX2_CONFIGS, steps=BENCH_STEPS,
+                             cost_model=cost_model)
     efficiencies = {
         f"LX2 CPU / {name}": peak_efficiency_percent(cost_model, r.timing)
         for name, r in results.items()

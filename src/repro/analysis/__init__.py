@@ -1,5 +1,15 @@
-"""Analysis utilities: metrics, experiment runners and table formatters."""
+"""Analysis utilities: metrics, runners, campaigns and table formatters."""
 
+from repro.analysis.cache import CacheStats, ResultCache
+from repro.analysis.campaign import (
+    Campaign,
+    CampaignEntry,
+    CampaignResult,
+    ExperimentSpec,
+    register_workload_kind,
+    run_campaign,
+    run_spec,
+)
 from repro.analysis.metrics import (
     ExperimentResult,
     particles_per_second,
@@ -13,19 +23,30 @@ from repro.analysis.runner import (
 )
 from repro.analysis.tables import (
     format_breakdown_table,
+    format_campaign_table,
     format_efficiency_table,
     format_kernel_table,
     format_series_table,
 )
 
 __all__ = [
+    "Campaign",
+    "CampaignEntry",
+    "CampaignResult",
+    "CacheStats",
     "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "register_workload_kind",
+    "run_campaign",
+    "run_spec",
     "speedup",
     "particles_per_second",
     "peak_efficiency_percent",
     "run_deposition_experiment",
     "run_simulation_experiment",
     "sweep_configurations",
+    "format_campaign_table",
     "format_kernel_table",
     "format_efficiency_table",
     "format_breakdown_table",

@@ -1,0 +1,240 @@
+"""On-disk result store for campaign experiments.
+
+Every experiment spec (see :mod:`repro.analysis.campaign`) hashes to a
+content key covering the workload parameters, configuration name, sorting
+policy, cost-model parameters, steps, seed and the library version; the
+cache stores one JSON file per key so a repeated sweep replays results
+instead of recomputing hours of simulation.
+
+Layout (two-level fan-out keeps directories small)::
+
+    <cache-dir>/
+        <key[:2]>/<key>.json    # {"key", "spec", "result", "version"}
+
+Entries are written atomically (temp file + ``os.replace``) so a killed
+run never leaves a truncated entry behind, and unreadable or malformed
+entries are treated as misses, counted as invalidations and deleted —
+never raised to the caller.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro._version import __version__
+
+#: Bumped whenever the stored payload layout changes incompatibly; part of
+#: every content key so stale-schema entries miss instead of misparse.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache directory used when none is configured explicitly."""
+    return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON used for hashing and for the stored entries.
+
+    Keys are sorted and separators fixed so that logically equal payloads
+    serialise to identical bytes regardless of insertion order.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: object) -> str:
+    """SHA-256 content hash of a JSON-able payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _is_hex(text: str) -> bool:
+    return all(c in "0123456789abcdef" for c in text)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: entries that existed but were unreadable/malformed and got evicted
+    invalidations: int = 0
+    writes: int = 0
+    #: store attempts that failed on the filesystem (cache dir unwritable)
+    write_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none happened)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed JSON store under ``cache_dir``."""
+
+    cache_dir: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def path_for(self, key: str) -> str:
+        """Absolute path of the entry for ``key``."""
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None on a miss.
+
+        A corrupt entry (invalid JSON, undecodable bytes, key mismatch)
+        is deleted, counted as an invalidation and reported as a miss, so
+        the caller recomputes instead of crashing.  Read *failures*
+        (missing file, unreadable cache path, transient I/O errors like
+        EMFILE/EIO) are plain misses: they say nothing about the entry's
+        content, so nothing is evicted.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict) or payload.get("key") != key:
+                raise ValueError("cache entry does not match its key")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        except ValueError:
+            # json.JSONDecodeError and UnicodeDecodeError both subclass
+            # ValueError: the entry itself is bad — evict it
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, spec: object, result: dict) -> Optional[str]:
+        """Store ``result`` (a JSON-able dict) for ``key``.
+
+        Best-effort: filesystem failures (read-only cache directory, disk
+        full) are counted in ``stats.write_errors`` and reported as None —
+        an unwritable cache degrades to recompute-next-time, it never
+        discards results that were already computed.  Returns the entry
+        path on success.
+        """
+        path = self.path_for(key)
+        payload = {
+            "key": key,
+            "version": __version__,
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": spec,
+            "result": result,
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(canonical_json(payload))
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.write_errors += 1
+            return None
+        self.stats.writes += 1
+        return path
+
+    def discard(self, key: str) -> bool:
+        """Delete the entry for ``key`` if present; no stats are touched."""
+        try:
+            os.remove(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    def reclassify_corrupt_hit(self, key: str) -> None:
+        """Turn the latest hit on ``key`` into an invalidating miss.
+
+        Readers that detect a semantically corrupt entry only after a
+        successful :meth:`get` (valid JSON, wrong shape) call this so the
+        entry is evicted and the accounting reflects what was actually
+        recomputed; the counters stay owned by the cache.
+        """
+        self.stats.hits = max(0, self.stats.hits - 1)
+        self.stats.misses += 1
+        self.stats.invalidations += 1
+        self.discard(key)
+
+    def _iter_layout_files(self):
+        """Yield paths of files that belong to the cache layout.
+
+        Only files under the documented ``<key[:2]>/`` fan-out directories
+        are considered — entry files (``<64-hex>.json``) and orphaned
+        ``*.tmp`` files from a hard-killed ``put`` — so a cache pointed at
+        a directory containing unrelated data never touches it.
+        """
+        if not os.path.isdir(self.cache_dir):
+            return
+        for sub in sorted(os.listdir(self.cache_dir)):
+            subdir = os.path.join(self.cache_dir, sub)
+            if len(sub) != 2 or not _is_hex(sub) or not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                is_entry = (name.endswith(".json") and len(name) == 69
+                            and _is_hex(name[:-5]))
+                if is_entry or name.endswith(".tmp"):
+                    yield os.path.join(subdir, name)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed.
+
+        Only files matching the cache layout are touched (see
+        :meth:`_iter_layout_files`); anything else under ``cache_dir``
+        survives.  Orphaned ``*.tmp`` files from a hard-killed ``put``
+        (SIGKILL between mkstemp and replace) are swept too.
+        """
+        removed = 0
+        for path in self._iter_layout_files():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for path in self._iter_layout_files()
+                   if path.endswith(".json"))

@@ -72,6 +72,56 @@ class ExperimentResult:
         row.update(self.extra)
         return row
 
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """Lossless JSON-able representation of the result.
+
+        Every field round-trips exactly through ``json.dumps`` /
+        ``json.loads`` (floats keep their IEEE-754 value), so the campaign
+        cache can replay a stored result byte for byte.
+        """
+        return {
+            "configuration": self.configuration,
+            "ppc": self.ppc,
+            "shape_order": self.shape_order,
+            "num_particles": self.num_particles,
+            "steps": self.steps,
+            "timing": self.timing.to_dict(),
+            "wall_seconds": self.wall_seconds,
+            "stage_seconds": dict(self.stage_seconds),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls(
+            configuration=str(payload["configuration"]),
+            ppc=int(payload["ppc"]),
+            shape_order=int(payload["shape_order"]),
+            num_particles=int(payload["num_particles"]),
+            steps=int(payload["steps"]),
+            timing=KernelTiming.from_dict(payload["timing"]),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            stage_seconds={str(k): float(v) for k, v
+                           in payload.get("stage_seconds", {}).items()},
+            extra={str(k): float(v) for k, v
+                   in payload.get("extra", {}).items()},
+        )
+
+    def deterministic_fields(self) -> Dict[str, object]:
+        """The subset of :meth:`to_json` that is identical across runs.
+
+        ``wall_seconds`` and ``stage_seconds`` are interpreter wall-clock
+        and differ between otherwise identical runs; everything else —
+        the modelled timing above all — must match exactly whether a spec
+        ran serially, in a worker process, or was replayed from cache.
+        """
+        payload = self.to_json()
+        payload.pop("wall_seconds")
+        payload.pop("stage_seconds")
+        return payload
+
 
 def speedup(reference_seconds: float, optimized_seconds: float) -> float:
     """Relative performance ``T_reference / T_optimized``."""

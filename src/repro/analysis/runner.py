@@ -11,8 +11,10 @@ Two levels are provided:
   (Figure 1).
 
 ``sweep_configurations`` maps a list of configuration names over a
-workload, reusing one simulation state per configuration so that every
-kernel sees the same particle distribution.
+workload through the campaign layer (:mod:`repro.analysis.campaign`):
+every configuration runs on a freshly built, identically seeded
+simulation, optionally in parallel worker processes and replayed from the
+on-disk result cache.
 """
 
 from __future__ import annotations
@@ -67,6 +69,11 @@ def run_deposition_experiment(workload, configuration: str, *,
         for _ in range(warmup_steps):
             simulation.step()
         simulation.deposition_counters = KernelCounters()
+        # the stage breakdown must cover exactly the measured steps, like
+        # the kernel counters and wall clock (warmup contaminated the
+        # reported stage_seconds — the Figure-1 style breakdowns — before
+        # this reset existed)
+        simulation.breakdown.reset()
 
         n_steps = workload.max_steps if steps is None else steps
         start = time.perf_counter()
@@ -97,16 +104,45 @@ def sweep_configurations(workload, configurations: Iterable[str], *,
                          cost_model: Optional[CostModel] = None,
                          sorting_config: Optional[SortingPolicyConfig] = None,
                          scramble: bool = True,
-                         warmup_steps: int = 1) -> Dict[str, ExperimentResult]:
-    """Run several configurations on the same workload definition."""
-    results: Dict[str, ExperimentResult] = {}
-    for name in configurations:
-        results[name] = run_deposition_experiment(
-            workload, name, steps=steps, cost_model=cost_model,
-            sorting_config=sorting_config, scramble=scramble,
-            warmup_steps=warmup_steps,
+                         warmup_steps: int = 1,
+                         cache=None,
+                         jobs: int = 1) -> Dict[str, ExperimentResult]:
+    """Run several configurations on the same workload definition.
+
+    The sweep routes through the campaign layer
+    (:mod:`repro.analysis.campaign`): pass ``cache`` (a
+    :class:`~repro.analysis.cache.ResultCache`) to replay previously
+    computed cells from disk and ``jobs`` to execute cache misses over a
+    process pool.  Workload types that are not registered with the
+    campaign layer fall back to direct in-process execution (no caching,
+    no parallelism).
+    """
+    # imported here: campaign builds specs on top of this module's
+    # run_deposition_experiment, so a top-level import would be circular
+    from repro.analysis.campaign import Campaign, UnregisteredWorkloadError
+
+    configurations = list(configurations)
+    try:
+        campaign = Campaign.from_grid(
+            [workload], configurations, steps=steps,
+            warmup_steps=warmup_steps, scramble=scramble,
+            sorting_config=sorting_config, cost_model=cost_model,
+            cache=cache, jobs=jobs,
         )
-    return results
+    except UnregisteredWorkloadError:
+        # without caching or parallelism an unregistered workload can
+        # still run directly
+        if cache is not None or jobs != 1:
+            raise
+        return {
+            name: run_deposition_experiment(
+                workload, name, steps=steps, cost_model=cost_model,
+                sorting_config=sorting_config, scramble=scramble,
+                warmup_steps=warmup_steps,
+            )
+            for name in configurations
+        }
+    return campaign.run().by_configuration()
 
 
 def run_simulation_experiment(workload, *, steps: Optional[int] = None
@@ -117,10 +153,10 @@ def run_simulation_experiment(workload, *, steps: Optional[int] = None
     holds the per-stage wall-clock seconds used for the Figure-1 style
     runtime breakdown.
     """
-    simulation = workload.build_simulation()
-    n_steps = workload.max_steps if steps is None else steps
-    simulation.run(n_steps)
-    # release any worker pools; they are recreated lazily if the caller
-    # steps the returned simulation further
-    simulation.shutdown()
+    # the context manager releases the executor's worker pools even when
+    # run() raises; they are recreated lazily if the caller steps the
+    # returned simulation further
+    with workload.build_simulation() as simulation:
+        n_steps = workload.max_steps if steps is None else steps
+        simulation.run(n_steps)
     return simulation

@@ -92,6 +92,46 @@ def format_series_table(series: Mapping[int, Mapping[str, float]],
     return f"[{value_label}]\n{table}"
 
 
+def campaign_rows(campaign_result) -> list:
+    """Flat dict rows for a :class:`~repro.analysis.campaign.CampaignResult`.
+
+    One row per entry, in spec order: workload identity, the
+    :meth:`ExperimentResult.as_row` columns and the cache provenance.
+    Shared by the CSV and table renderings of the campaign CLI.
+    """
+    rows = []
+    for entry in campaign_result:
+        row = {"workload": entry.spec.label()}
+        row.update(entry.result.as_row())
+        row["cached"] = entry.cache_hit
+        rows.append(row)
+    return rows
+
+
+def format_campaign_table(campaign_result) -> str:
+    """Campaign results as a fixed-width table plus a cache summary line."""
+    headers = ("Workload", "Configuration", "Total (s)", "Preproc. (s)",
+               "Compute (s)", "Sort (s)", "Throughput (p/s)", "Cached")
+    rows = [
+        (entry.spec.label(), entry.spec.configuration,
+         entry.result.timing.total, entry.result.timing.preprocess,
+         entry.result.timing.compute, entry.result.timing.sort,
+         entry.result.throughput, "hit" if entry.cache_hit else "miss")
+        for entry in campaign_result
+    ]
+    lines = [format_table(headers, rows)]
+    stats = campaign_result.cache_stats
+    if stats is not None:
+        lines.append(
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.invalidations} invalidations "
+            f"({100.0 * stats.hit_ratio:.0f}% hit ratio)"
+        )
+    if campaign_result.degraded:
+        lines.append("note: process pool unavailable; misses ran serially")
+    return "\n".join(lines)
+
+
 def speedup_series(series: Mapping[int, Mapping[str, float]],
                    baseline: str, optimized: str) -> Dict[int, float]:
     """Per-PPC speedup of ``optimized`` over ``baseline``."""

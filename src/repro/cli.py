@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro campaign ...``.
+
+The ``campaign`` subcommand expands a declarative (workload x PPC x
+configuration) grid, runs it through the experiment cache and an optional
+process pool (:mod:`repro.analysis.campaign`) and renders the results as a
+table, CSV or JSON.  A repeated invocation with the same grid and cache
+directory is a pure cache hit::
+
+    python -m repro campaign --workload uniform --ppc 8,64 \\
+        --configurations "Baseline,MatrixPIC (FullOpt)" \\
+        --steps 2 --jobs 2 --cache-dir .repro-cache --format table
+
+The JSON output embeds the cache accounting (``{"cache": {"hits": ...}}``)
+so CI jobs can assert a warm rerun recomputed nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.analysis.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    default_cache_dir,
+)
+
+
+def _comma_list(text: str) -> List[str]:
+    items = [item.strip() for item in text.split(",")]
+    return [item for item in items if item]
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(item) for item in _comma_list(text)]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of integers, got {text!r}"
+        ) from exc
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _positive_int_list(text: str) -> List[int]:
+    values = _int_list(text)
+    if any(v <= 0 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected positive integers, got {text!r}")
+    return values
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from exc
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}")
+    return value
+
+
+def _int3(text: str) -> Tuple[int, int, int]:
+    values = _int_list(text)
+    if len(values) != 3 or any(v <= 0 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected exactly 3 comma-separated positive integers, "
+            f"got {text!r}"
+        )
+    return tuple(values)  # type: ignore[return-value]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Matrix-PIC reproduction command-line tools.",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro-matrix-pic {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a (workload x PPC x configuration) experiment sweep",
+        description="Expand and run an experiment grid through the "
+                    "on-disk result cache and an optional process pool.",
+    )
+    campaign.add_argument("--workload", choices=("uniform", "lwfa"),
+                          default="uniform",
+                          help="workload family (default: uniform)")
+    campaign.add_argument("--ppc", type=_positive_int_list, default=[8, 64],
+                          metavar="N[,N...]",
+                          help="comma-separated particles-per-cell scan "
+                               "(default: 8,64)")
+    campaign.add_argument("--configurations", type=_comma_list,
+                          default=["Baseline", "MatrixPIC (FullOpt)"],
+                          metavar="NAME[,NAME...]",
+                          help='comma-separated configuration names '
+                               '(default: "Baseline,MatrixPIC (FullOpt)")')
+    campaign.add_argument("--list-configurations", action="store_true",
+                          help="print the available configuration names "
+                               "and exit")
+    campaign.add_argument("--steps", type=_nonnegative_int, default=2,
+                          help="measured steps per experiment (default: 2)")
+    campaign.add_argument("--warmup-steps", type=_nonnegative_int, default=1,
+                          help="warm-up steps excluded from measurement "
+                               "(default: 1)")
+    campaign.add_argument("--shape-order", type=int, choices=(1, 2, 3),
+                          default=None,
+                          help="deposition shape order (uniform workload "
+                               "only — the lwfa workload is fixed at "
+                               "order 1; default: 1)")
+    campaign.add_argument("--n-cell", type=_int3, default=None,
+                          metavar="NX,NY,NZ",
+                          help="grid cells per axis (defaults: 8,8,8 "
+                               "uniform / 8,8,32 lwfa)")
+    campaign.add_argument("--tile-size", type=_int3, default=None,
+                          metavar="TX,TY,TZ",
+                          help="particle tile size per axis (defaults: "
+                               "8,8,8 uniform / 8,8,16 lwfa)")
+    campaign.add_argument("--seed", type=_nonnegative_int, default=2026,
+                          help="workload RNG seed (default: 2026)")
+    campaign.add_argument("--no-scramble", action="store_true",
+                          help="keep the freshly loaded particle order "
+                               "instead of scrambling it")
+    campaign.add_argument("--jobs", type=_positive_int, default=1,
+                          help="worker processes for cache misses "
+                               "(default: 1 = serial)")
+    campaign.add_argument("--cache-dir", default=None,
+                          help=f"result cache directory (default: "
+                               f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="disable the result cache entirely")
+    campaign.add_argument("--clear-cache", action="store_true",
+                          help="delete every cached entry (including ones "
+                               "stranded by source edits or version bumps) "
+                               "before running")
+    campaign.add_argument("--format", choices=("table", "csv", "json"),
+                          default="table",
+                          help="output format (default: table)")
+    campaign.set_defaults(func=cmd_campaign)
+    return parser
+
+
+def _build_workloads(args) -> list:
+    from repro.workloads.lwfa import LWFAWorkload
+    from repro.workloads.uniform import UniformPlasmaWorkload
+
+    workloads = []
+    for ppc in args.ppc:
+        if args.workload == "uniform":
+            workloads.append(UniformPlasmaWorkload(
+                n_cell=args.n_cell or (8, 8, 8),
+                tile_size=args.tile_size or (8, 8, 8),
+                ppc=ppc,
+                shape_order=args.shape_order or 1,
+                max_steps=args.steps,
+                seed=args.seed,
+            ))
+        else:
+            workloads.append(LWFAWorkload(
+                n_cell=args.n_cell or (8, 8, 32),
+                tile_size=args.tile_size or (8, 8, 16),
+                ppc=ppc,
+                max_steps=args.steps,
+                seed=args.seed,
+            ))
+        # fail fast on a PPC outside the paper's scan (workload builders
+        # only check it lazily when the simulation is built)
+        workloads[-1].ppc_triple()
+    return workloads
+
+
+def _render_csv(campaign_result, stream) -> None:
+    from repro.analysis.tables import campaign_rows
+
+    rows = campaign_rows(campaign_result)
+    if not rows:
+        return
+    # union of keys in first-seen order (extras can differ per config)
+    fieldnames: List[str] = []
+    for row in rows:
+        for name in row:
+            if name not in fieldnames:
+                fieldnames.append(name)
+    writer = csv.DictWriter(stream, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+
+
+def cmd_campaign(args, stdout=None) -> int:
+    """Entry point of the ``campaign`` subcommand."""
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.campaign import Campaign
+    from repro.analysis.tables import format_campaign_table
+    from repro.baselines.configs import available_configurations
+
+    stdout = stdout if stdout is not None else sys.stdout
+
+    if args.list_configurations:
+        for name in available_configurations():
+            print(name, file=stdout)
+        return 0
+
+    if not args.ppc or not args.configurations:
+        print("error: --ppc and --configurations must each name at least "
+              "one value", file=sys.stderr)
+        return 2
+
+    unknown = [name for name in args.configurations
+               if name not in available_configurations()]
+    if unknown:
+        print(f"error: unknown configuration(s) {unknown}; "
+              f"valid names: {list(available_configurations())}",
+              file=sys.stderr)
+        return 2
+
+    if args.workload == "lwfa" and args.shape_order is not None:
+        print("error: --shape-order applies only to the uniform workload "
+              "(the lwfa workload is fixed at order 1)", file=sys.stderr)
+        return 2
+
+    cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    if args.clear_cache:
+        removed = ResultCache(cache_dir).clear()
+        print(f"cleared {removed} cached file(s) from {cache_dir}",
+              file=sys.stderr)
+    cache = None if args.no_cache else ResultCache(cache_dir)
+
+    try:
+        workloads = _build_workloads(args)
+    except ValueError as exc:
+        # invalid workload parameters (e.g. a PPC outside the paper's
+        # scan that is not a perfect cube) get a usage-style error, not
+        # a traceback from deep inside the campaign run
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    campaign = Campaign.from_grid(
+        workloads, args.configurations,
+        steps=args.steps, warmup_steps=args.warmup_steps,
+        scramble=not args.no_scramble,
+        cache=cache, jobs=args.jobs,
+    )
+    outcome = campaign.run()
+
+    if args.format == "json":
+        print(json.dumps(outcome.to_json(), indent=2, sort_keys=True),
+              file=stdout)
+    elif args.format == "csv":
+        buffer = io.StringIO()
+        _render_csv(outcome, buffer)
+        print(buffer.getvalue(), end="", file=stdout)
+    else:
+        print(format_campaign_table(outcome), file=stdout)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

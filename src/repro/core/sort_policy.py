@@ -8,9 +8,14 @@ triggers are evaluated against the accumulated :class:`RankSortStats`:
 2. **Fixed interval** — always sort after ``sort_interval`` steps.
 3. **Local rebuilds** — sort when the tiles' GPMA rebuilds accumulated past
    ``sort_trigger_rebuild_count``.
-4. **Empty-slot ratio** — sort when the rank-wide gap reserve falls below
-   ``sort_trigger_empty_ratio`` or the occupancy exceeds
-   ``sort_trigger_full_ratio``.
+4. **Slot ratio** — sort when the rank-wide gap reserve falls below
+   ``sort_trigger_empty_ratio`` (the structure is nearly full and local
+   rebuilds are imminent, trigger name ``empty_ratio``) or the gap
+   fraction *exceeds* ``sort_trigger_full_ratio`` (the structure became
+   sparse and cache-unfriendly, trigger name ``sparse_ratio``).  Both
+   triggers compare the *empty* fraction (:attr:`RankSortStats.empty_ratio`,
+   the complement of :attr:`RankSortStats.fill_ratio`) against its bound
+   with a strict inequality.
 5. **Performance degradation** (optional) — sort when the deposition
    throughput falls below ``sort_trigger_perf_degrad`` of the post-sort
    baseline.

@@ -25,16 +25,39 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+# imported explicitly: the `concurrent.futures.process` attribute is only
+# bound once the submodule is imported, so referencing it lazily inside an
+# except clause can itself raise AttributeError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, List, Optional, Sequence
 
 from repro.exec.base import BACKEND_PROCESSES, TileExecutor, TileTask
 
 
-def _preferred_context() -> multiprocessing.context.BaseContext:
+def preferred_mp_context() -> multiprocessing.context.BaseContext:
+    """The ``fork`` start method where available, platform default elsewhere."""
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+def make_process_pool(max_workers: int
+                      ) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+    """A fork-preferring process pool, or None where subprocesses are banned.
+
+    Shared by the tile-shard executor and the campaign runner so both
+    degrade to serial execution identically: environments that forbid the
+    semaphores/processes multiprocessing needs surface the refusal here
+    as OSError/PermissionError/ValueError, which maps to None.
+    """
+    try:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=preferred_mp_context(),
+        )
+    except (OSError, PermissionError, ValueError):
+        return None
 
 
 class ProcessShardExecutor(TileExecutor):
@@ -53,12 +76,8 @@ class ProcessShardExecutor(TileExecutor):
         if self.degraded:
             return None
         if self._pool is None:
-            try:
-                self._pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self.num_shards,
-                    mp_context=_preferred_context(),
-                )
-            except (OSError, PermissionError, ValueError):
+            self._pool = make_process_pool(self.num_shards)
+            if self._pool is None:
                 self.degraded = True
                 return None
         return self._pool
@@ -69,15 +88,34 @@ class ProcessShardExecutor(TileExecutor):
         pool = self._ensure_pool()
         if pool is None:
             return [task() for task in tasks]
+        futures: List[concurrent.futures.Future] = []
         try:
-            futures = [pool.submit(task.fn, *task.args) for task in tasks]
-            concurrent.futures.wait(futures)
-            return [f.result() for f in futures]
-        except concurrent.futures.process.BrokenProcessPool:
-            # a worker died (OOM, sandbox kill): degrade rather than wedge
-            self.shutdown()
+            for task in tasks:
+                futures.append(pool.submit(task.fn, *task.args))
+        except (OSError, BrokenProcessPool):
+            # workers are forked lazily inside submit(): a sandbox that
+            # blocks fork raises plain OSError here, and a worker dying
+            # mid-loop marks the pool broken for the next submit — keep
+            # the shards already submitted, run the remainder inline
+            # (kept separate from result collection so a *task* raising
+            # OSError is not misread as a pool failure)
             self.degraded = True
-            return [task() for task in tasks]
+        if futures:
+            concurrent.futures.wait(futures)
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            if index < len(futures):
+                try:
+                    results.append(futures[index].result())
+                    continue
+                except BrokenProcessPool:
+                    # this worker died (OOM, sandbox kill): recompute the
+                    # shard inline; genuine task exceptions propagate
+                    self.degraded = True
+            results.append(task())
+        if self.degraded:
+            self.shutdown()
+        return results
 
     def shutdown(self) -> None:
         if self._pool is not None:

@@ -79,6 +79,31 @@ class KernelTiming:
             "sort": self.sort,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-able representation (see :meth:`from_dict`).
+
+        Floats survive a JSON round trip exactly (``json`` emits the
+        shortest repr that parses back to the same IEEE-754 double), so
+        ``from_dict(json.loads(json.dumps(to_dict())))`` reproduces the
+        timing bit for bit — the property the campaign result cache
+        relies on.
+        """
+        return {
+            "spec_name": self.spec_name,
+            "seconds_by_phase": dict(self.seconds_by_phase),
+            "effective_flops": self.effective_flops,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "KernelTiming":
+        """Rebuild a timing from :meth:`to_dict` output."""
+        return cls(
+            spec_name=str(payload["spec_name"]),
+            seconds_by_phase={str(k): float(v) for k, v
+                              in payload["seconds_by_phase"].items()},
+            effective_flops=float(payload.get("effective_flops", 0.0)),
+        )
+
 
 class CostModel:
     """Converts :class:`KernelCounters` into :class:`KernelTiming`."""

@@ -52,6 +52,16 @@ class RuntimeBreakdown:
         """Mark the end of one simulation step."""
         self.steps += 1
 
+    def reset(self) -> None:
+        """Discard every recorded stage and the step count.
+
+        Experiment runners call this after their warm-up steps so the
+        reported stage breakdown covers exactly the measured steps, in
+        lockstep with the kernel counters they reset at the same point.
+        """
+        self.seconds = defaultdict(float)
+        self.steps = 0
+
     @property
     def total(self) -> float:
         """Total recorded seconds across all stages."""

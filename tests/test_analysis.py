@@ -128,6 +128,29 @@ class TestRunner:
         assert simulation.step_index == 2
         assert "current_deposition" in simulation.breakdown.seconds
 
+    def test_stage_breakdown_excludes_warmup_steps(self, tiny_workload):
+        """The reported stage_seconds must cover exactly the measured
+        steps, like the kernel counters (the Figure-1 style breakdowns
+        built from stage_seconds used to include warmup wall-clock)."""
+        # zero measured steps after a warmup: every recorded stage second
+        # would have to come from the warmup contamination this fix removed
+        result = run_deposition_experiment(tiny_workload, "Baseline",
+                                           steps=0, warmup_steps=2)
+        assert result.stage_seconds == {}
+        # and a measured run still records the full stage set
+        measured = run_deposition_experiment(tiny_workload, "Baseline",
+                                             steps=2, warmup_steps=1)
+        assert "current_deposition" in measured.stage_seconds
+        assert sum(measured.stage_seconds.values()) > 0.0
+
+    def test_breakdown_reset_clears_stages_and_steps(self, tiny_workload):
+        simulation = run_simulation_experiment(tiny_workload, steps=2)
+        assert simulation.breakdown.steps == 2
+        simulation.breakdown.reset()
+        assert simulation.breakdown.steps == 0
+        assert simulation.breakdown.total == 0.0
+        assert dict(simulation.breakdown.seconds) == {}
+
     def test_warmup_excludes_initial_global_sort(self, tiny_workload):
         with_warmup = run_deposition_experiment(tiny_workload,
                                                 "MatrixPIC (FullOpt)",

@@ -103,6 +103,32 @@ class TestSortPolicy:
         policy = GlobalSortPolicy()
         assert not policy.should_sort(self._stats())
 
+    def test_ratio_trigger_boundaries(self):
+        """Pin the slot-ratio semantics: both triggers compare the *empty*
+        fraction against its bound with a strict inequality (the
+        ``sort_trigger_full_ratio`` bound fires when the structure became
+        sparse, not when occupancy is high)."""
+        policy = GlobalSortPolicy(SortingPolicyConfig(
+            sort_trigger_empty_ratio=0.15, sort_trigger_full_ratio=0.85))
+        # exactly at either bound: no trigger (strict comparisons)
+        assert not policy.should_sort(self._stats(empty_slots=150))
+        assert not policy.should_sort(self._stats(empty_slots=850))
+        # just below the empty bound: gap reserve exhausted -> empty_ratio
+        assert policy.should_sort(self._stats(empty_slots=149))
+        assert policy.last_trigger == "empty_ratio"
+        # just above the full bound: mostly gaps -> sparse_ratio
+        assert policy.should_sort(self._stats(empty_slots=851))
+        assert policy.last_trigger == "sparse_ratio"
+
+    def test_fill_ratio_is_complement_of_empty_ratio(self):
+        stats = self._stats(total_slots=1000, empty_slots=300)
+        assert stats.empty_ratio == pytest.approx(0.3)
+        assert stats.fill_ratio == pytest.approx(0.7)
+        # degenerate rank with no slots: defined as fully filled, no trigger
+        empty = RankSortStats()
+        assert empty.empty_ratio == 0.0
+        assert empty.fill_ratio == 1.0
+
     def test_rank_stats_record_and_reset(self):
         stats = RankSortStats()
         stats.record_step(rebuilds=2, moved=10, total_slots=100, empty_slots=30,
