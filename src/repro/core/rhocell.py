@@ -20,6 +20,7 @@ from repro.pic.deposition.rhocell import reduce_rhocells_to_grid
 from repro.pic.grid import Grid
 from repro.pic.particles import ParticleTile
 from repro.pic.shapes import shape_support
+from repro.pic.stencil import cell_block_ids, scatter_flat
 
 
 class RhocellBuffer:
@@ -58,9 +59,10 @@ class RhocellBuffer:
                 f"contribution shape {contrib_x.shape} does not match "
                 f"({cell_ids.shape[0]}, {self.nodes_per_cell})"
             )
-        np.add.at(self.jx, cell_ids, contrib_x)
-        np.add.at(self.jy, cell_ids, contrib_y)
-        np.add.at(self.jz, cell_ids, contrib_z)
+        block_ids = cell_block_ids(cell_ids, self.nodes_per_cell)
+        scatter_flat(block_ids, np.asarray(contrib_x), self.jx)
+        scatter_flat(block_ids, np.asarray(contrib_y), self.jy)
+        scatter_flat(block_ids, np.asarray(contrib_z), self.jz)
 
     def accumulate_cell(self, cell: int, contrib_x: np.ndarray,
                         contrib_y: np.ndarray, contrib_z: np.ndarray) -> None:

@@ -12,8 +12,8 @@ handed to a :class:`TileExecutor`:
     release inside large ufunc loops overlaps shard arithmetic on
     multi-core machines.
 ``processes``
-    A chunked process-shard pool for GIL-bound kernels (``np.add.at``);
-    tasks carry picklable payloads and return their scratch buffers.
+    A chunked process-shard pool for interpreter-bound stages; tasks
+    carry picklable payloads and return their scratch buffers.
 
 All backends obey the determinism contract of :mod:`repro.exec.base`:
 fixed contiguous partition, private per-shard scratch state, serial merge

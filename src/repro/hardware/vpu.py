@@ -124,12 +124,24 @@ class VectorUnit:
 
     def scatter_add(self, array: np.ndarray, indices: np.ndarray,
                     values: np.ndarray, *, far: bool = True) -> None:
-        """Indexed scatter-add into a flat array (conflict-safe)."""
-        indices = np.asarray(indices)
-        n = np.size(indices)
+        """Indexed scatter-add into a flat array (conflict-safe).
+
+        Accumulated with a single ``np.bincount`` pass — the flat-index
+        formulation of :mod:`repro.pic.stencil`, conflict-safe by
+        construction.  Contract: ``array`` is 1-D, indices are
+        non-negative (flat accumulator addressing), and scalar ``values``
+        broadcast across the indices.  Each call accumulates an
+        ``array``-sized pass, so it suits the dense accumulator-sized
+        scatters the hardware models issue (not k-sparse updates into
+        huge arrays).
+        """
+        indices = np.asarray(indices).ravel()
+        values = np.broadcast_to(np.asarray(values, dtype=np.float64),
+                                 indices.shape).ravel()
+        n = indices.size
         self.counters.add(vpu_gather_scatter=self._instructions(n))
         self._charge_bytes(2 * n, far)  # read-modify-write
-        np.add.at(array, indices, np.asarray(values))
+        array += np.bincount(indices, weights=values, minlength=array.size)
 
     def atomic_scatter_add(self, array: np.ndarray, indices: np.ndarray,
                            values: np.ndarray) -> None:
@@ -137,10 +149,13 @@ class VectorUnit:
 
         Conflicts are counted from the actual index stream: any element whose
         target index already appears earlier within the same SIMD vector
-        would serialise on real hardware (Figure 2 of the paper).
+        would serialise on real hardware (Figure 2 of the paper).  Like
+        :meth:`scatter_add`, indices must be non-negative (the unit models
+        flat accumulator addressing) and scalar ``values`` broadcast.
         """
         indices = np.asarray(indices).ravel()
-        values = np.asarray(values).ravel()
+        values = np.broadcast_to(np.asarray(values, dtype=np.float64),
+                                 indices.shape).ravel()
         n = indices.size
         self.counters.add(vpu_gather_scatter=self._instructions(n),
                           atomic_updates=float(n))
@@ -150,7 +165,7 @@ class VectorUnit:
             conflicts += chunk.size - np.unique(chunk).size
         self.counters.add(atomic_conflicts=float(conflicts))
         self._charge_bytes(2 * n, far=True)
-        np.add.at(array, indices, values)
+        array += np.bincount(indices, weights=values, minlength=array.size)
 
     # ------------------------------------------------------------------
     def _charge_bytes(self, n_elements: int, far: bool) -> None:

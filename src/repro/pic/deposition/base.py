@@ -14,17 +14,17 @@ enforce this against the scatter-add reference kernel.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.config import SHAPE_ORDER_CIC, SHAPE_ORDER_QSP, SHAPE_ORDER_TSC
 from repro.hardware.counters import KernelCounters
-from repro.pic.grid import Grid
+from repro.pic.grid import Grid, scratch_grids
 from repro.pic.particles import ParticleContainer, ParticleTile
 from repro.pic.pusher import velocities
 from repro.pic.shapes import shape_factors, shape_support
+from repro.pic.stencil import StencilOperator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec import TileExecutor
@@ -64,28 +64,45 @@ def cell_switch_fraction(cell_ids: np.ndarray) -> float:
     return float(switches) / float(cell_ids.size - 1)
 
 
-@dataclass
 class TileDepositionData:
-    """Per-particle staging data for one tile (Stage 1 of Algorithm 2)."""
+    """Per-particle staging data for one tile (Stage 1 of Algorithm 2).
 
-    #: shape order the data was prepared for
-    order: int
-    #: first grid node receiving weight, per axis, shape (n,)
-    base_x: np.ndarray
-    base_y: np.ndarray
-    base_z: np.ndarray
-    #: 1-D shape-factor weights per axis, shape (n, order + 1)
-    wx: np.ndarray
-    wy: np.ndarray
-    wz: np.ndarray
-    #: effective current terms q * v * w / V_cell, shape (n,)
-    wqx: np.ndarray
-    wqy: np.ndarray
-    wqz: np.ndarray
-    #: linear cell id of each particle within the *global* grid, shape (n,)
-    cell_ids: np.ndarray
-    #: linear cell id within the tile box, shape (n,)
-    local_cell_ids: np.ndarray
+    The shape-factor and effective-current arrays are computed eagerly by
+    :func:`prepare_tile_data`; the cell ids (used only by the instrumented
+    kernels for locality metrics and the rhocell/MPU layouts) and the
+    flat-index node stencil (used only by the direct scatter) are derived
+    lazily from the staged coordinates, so each consumer pays exactly for
+    what it touches.
+    """
+
+    __slots__ = ("order", "base_x", "base_y", "base_z", "wx", "wy", "wz",
+                 "wqx", "wqy", "wqz", "_cell_source", "_cell_ids",
+                 "_local_cell_ids", "_stencil")
+
+    def __init__(self, order: int,
+                 base_x: np.ndarray, base_y: np.ndarray, base_z: np.ndarray,
+                 wx: np.ndarray, wy: np.ndarray, wz: np.ndarray,
+                 wqx: np.ndarray, wqy: np.ndarray, wqz: np.ndarray,
+                 cell_source: Optional[Tuple] = None):
+        #: shape order the data was prepared for
+        self.order = order
+        #: first grid node receiving weight, per axis, shape (n,)
+        self.base_x = base_x
+        self.base_y = base_y
+        self.base_z = base_z
+        #: 1-D shape-factor weights per axis, shape (n, order + 1)
+        self.wx = wx
+        self.wy = wy
+        self.wz = wz
+        #: effective current terms q * v * w / V_cell, shape (n,)
+        self.wqx = wqx
+        self.wqy = wqy
+        self.wqz = wqz
+        #: (grid, tile, xi, yi, zi) for the lazy cell-id derivation
+        self._cell_source = cell_source
+        self._cell_ids: Optional[np.ndarray] = None
+        self._local_cell_ids: Optional[np.ndarray] = None
+        self._stencil: Optional[StencilOperator] = None
 
     @property
     def num_particles(self) -> int:
@@ -96,6 +113,51 @@ class TileDepositionData:
     def support(self) -> int:
         """Nodes touched along one axis."""
         return self.wx.shape[1] if self.num_particles else shape_support(self.order)
+
+    # ------------------------------------------------------------------
+    def _derive_cell_ids(self) -> None:
+        """Cell ids from the already-normalised coordinates, computed once.
+
+        The historical path re-normalised and re-wrapped the positions
+        twice more (``grid.cell_index`` plus ``tile.local_cell_ids``);
+        here the staged ``xi/yi/zi`` are floored and wrapped exactly once.
+        """
+        grid, tile, xi, yi, zi = self._cell_source
+        ix = grid.wrap_node_index(np.floor(xi).astype(np.int64), axis=0)
+        iy = grid.wrap_node_index(np.floor(yi).astype(np.int64), axis=1)
+        iz = grid.wrap_node_index(np.floor(zi).astype(np.int64), axis=2)
+        self._cell_ids = grid.linear_cell_id(ix, iy, iz)
+        self._local_cell_ids = tile.local_ids_from_cells(ix, iy, iz)
+
+    @property
+    def cell_ids(self) -> np.ndarray:
+        """Linear cell id of each particle within the *global* grid."""
+        if self._cell_ids is None:
+            self._derive_cell_ids()
+        return self._cell_ids
+
+    @property
+    def local_cell_ids(self) -> np.ndarray:
+        """Linear cell id within the tile box."""
+        if self._local_cell_ids is None:
+            self._derive_cell_ids()
+        return self._local_cell_ids
+
+    def node_stencil(self, grid: Grid) -> StencilOperator:
+        """The tile's flattened grid-node stencil, built once and cached.
+
+        The stencil depends only on the grid *geometry* (shape and
+        boundary kind), which is identical for the scratch grids the
+        executor tasks deposit into, so the cache is safe across the
+        grid instances a tile meets within one staging.
+        """
+        if self._stencil is None:
+            self._stencil = StencilOperator.from_shape_data(
+                grid.shape, grid.periodic,
+                self.base_x, self.base_y, self.base_z,
+                self.wx, self.wy, self.wz,
+            )
+        return self._stencil
 
 
 def prepare_tile_data(grid: Grid, tile: ParticleTile, charge: float,
@@ -111,13 +173,15 @@ def prepare_tile_data(grid: Grid, tile: ParticleTile, charge: float,
         empty = np.empty(0)
         empty_i = np.empty(0, dtype=np.int64)
         zero_w = np.empty((0, shape_support(order)))
-        return TileDepositionData(
+        data = TileDepositionData(
             order=order,
             base_x=empty_i, base_y=empty_i, base_z=empty_i,
             wx=zero_w, wy=zero_w, wz=zero_w,
             wqx=empty, wqy=empty, wqz=empty,
-            cell_ids=empty_i, local_cell_ids=empty_i,
         )
+        data._cell_ids = empty_i
+        data._local_cell_ids = empty_i
+        return data
 
     xi, yi, zi = grid.normalized_position(tile.x, tile.y, tile.z)
     base_x, wx = shape_factors(xi, order)
@@ -127,20 +191,17 @@ def prepare_tile_data(grid: Grid, tile: ParticleTile, charge: float,
     vx, vy, vz = velocities(tile.ux, tile.uy, tile.uz)
     cell_volume = float(np.prod(grid.cell_size))
     scale = charge / cell_volume
-    wqx = scale * tile.w * vx
-    wqy = scale * tile.w * vy
-    wqz = scale * tile.w * vz
-
-    ix, iy, iz = grid.cell_index(tile.x, tile.y, tile.z)
-    cell_ids = grid.linear_cell_id(ix, iy, iz)
-    local_cell_ids = tile.local_cell_ids(grid)
+    weight_scale = scale * tile.w
+    wqx = weight_scale * vx
+    wqy = weight_scale * vy
+    wqz = weight_scale * vz
 
     return TileDepositionData(
         order=order,
         base_x=base_x, base_y=base_y, base_z=base_z,
         wx=wx, wy=wy, wz=wz,
         wqx=wqx, wqy=wqy, wqz=wqz,
-        cell_ids=cell_ids, local_cell_ids=local_cell_ids,
+        cell_source=(grid, tile, xi, yi, zi),
     )
 
 
@@ -152,40 +213,45 @@ def scatter_tile_currents(grid: Grid, data: TileDepositionData) -> None:
     both reduce to this formula).  Tile-shard executor tasks point ``grid``
     at a shard-private scratch :class:`Grid`, so the accumulation target is
     always ``grid.current_arrays()``.
+
+    The three components share one flattened stencil (node ids and 3-D
+    weights computed once per tile) and accumulate with a single
+    ``np.bincount`` pass each — see :mod:`repro.pic.stencil`.
     """
     if data.num_particles == 0:
         return
-    support = data.support
+    stencil = data.node_stencil(grid)
     jx, jy, jz = grid.current_arrays()
-    for i in range(support):
-        gx = grid.wrap_node_index(data.base_x + i, axis=0)
-        for j in range(support):
-            gy = grid.wrap_node_index(data.base_y + j, axis=1)
-            wij = data.wx[:, i] * data.wy[:, j]
-            for k in range(support):
-                gz = grid.wrap_node_index(data.base_z + k, axis=2)
-                w = wij * data.wz[:, k]
-                np.add.at(jx, (gx, gy, gz), data.wqx * w)
-                np.add.at(jy, (gx, gy, gz), data.wqy * w)
-                np.add.at(jz, (gx, gy, gz), data.wqz * w)
+    stencil.scatter(data.wqx, jx)
+    stencil.scatter(data.wqy, jy)
+    stencil.scatter(data.wqz, jz)
 
 
 def deposit_kernel_shard(kernel: "DepositionKernel", grid_config,
-                         payloads: Tuple, charge: float, order: int
+                         payloads: Tuple, charge: float, order: int,
+                         scratch: Optional[Grid] = None
                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
                                     KernelCounters]:
     """Executor task: deposit one shard of tiles into private scratch.
 
-    Builds a scratch :class:`Grid` (same geometry, zeroed currents) so the
-    kernel's ``grid.current_arrays()`` writes land in shard-private
+    Deposits into a scratch :class:`Grid` (same geometry, zeroed currents)
+    so the kernel's ``grid.current_arrays()`` writes land in shard-private
     buffers, then runs the kernel over the shard's tiles in order.  Works
     identically in-process (arrays shared by reference, zero copies) and
     in a worker process (payloads pickled); the caller merges the returned
     ``(jx, jy, jz, counters)`` in shard order.
+
+    Shared-memory callers lease ``scratch`` from the process-wide
+    :data:`~repro.pic.grid.scratch_grids` pool and release it after the
+    merge (the return value aliases the scratch arrays, so the task
+    itself must not release).  Process workers receive ``scratch=None``
+    and build a fresh grid — their results cross the pickle boundary as
+    copies anyway.
     """
     from repro.pic.particles import tile_from_payload
 
-    scratch = Grid(grid_config)
+    if scratch is None:
+        scratch = Grid(grid_config)
     counters = KernelCounters()
     for payload in payloads:
         tile = tile_from_payload(payload)
@@ -236,17 +302,24 @@ class DepositionKernel(abc.ABC):
         from repro.pic.particles import tile_payload
 
         shards = executor.partition(container.nonempty_tiles())
+        scratches = ([scratch_grids.acquire(grid.config) for _ in shards]
+                     if executor.shares_memory else [None] * len(shards))
         tasks = [
             TileTask(deposit_kernel_shard,
                      (self, grid.config, tuple(tile_payload(t) for t in shard),
-                      container.charge, order))
-            for shard in shards
+                      container.charge, order, scratch))
+            for shard, scratch in zip(shards, scratches)
         ]
-        for jx, jy, jz, shard_counters in executor.run(tasks):
-            grid.jx += jx
-            grid.jy += jy
-            grid.jz += jz
-            counters.merge(shard_counters)
+        try:
+            for jx, jy, jz, shard_counters in executor.run(tasks):
+                grid.jx += jx
+                grid.jy += jy
+                grid.jz += jz
+                counters.merge(shard_counters)
+        finally:
+            for scratch in scratches:
+                if scratch is not None:
+                    scratch_grids.release(scratch)
         return counters
 
     # ------------------------------------------------------------------

@@ -22,23 +22,28 @@ from typing import TYPE_CHECKING, List, Tuple
 import numpy as np
 
 from repro.pic.deposition.base import prepare_tile_data, scatter_tile_currents
-from repro.pic.grid import Grid
+from repro.pic.grid import Grid, scratch_grids
 from repro.pic.particles import (
     ParticleContainer,
     tile_from_payload,
     tile_payload,
 )
-from repro.pic.shapes import shape_factors, shape_support
+from repro.pic.stencil import StencilOperator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec import TileExecutor
 
 
 def _reference_shard_currents(grid_config, payloads: Tuple, charge: float,
-                              order: int
+                              order: int, scratch: "Grid | None" = None
                               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Executor task: scatter one shard's current into a scratch grid."""
-    scratch = Grid(grid_config)
+    """Executor task: scatter one shard's current into a scratch grid.
+
+    Shared-memory callers lease ``scratch`` from the pool and release it
+    after the merge; process workers build a fresh grid (``None``).
+    """
+    if scratch is None:
+        scratch = Grid(grid_config)
     for payload in payloads:
         tile = tile_from_payload(payload)
         data = prepare_tile_data(scratch, tile, charge, order)
@@ -47,31 +52,26 @@ def _reference_shard_currents(grid_config, payloads: Tuple, charge: float,
 
 
 def _reference_shard_rho(grid_config, payloads: Tuple, charge: float,
-                         order: int) -> np.ndarray:
+                         order: int, scratch: "Grid | None" = None
+                         ) -> np.ndarray:
     """Executor task: scatter one shard's charge density into scratch."""
-    scratch = Grid(grid_config)
+    if scratch is None:
+        scratch = Grid(grid_config)
     _rho_tiles(scratch, [tile_from_payload(p) for p in payloads], charge, order)
     return scratch.rho
 
 
 def _rho_tiles(grid: Grid, tiles: List, charge: float, order: int) -> None:
-    """Add the charge density of ``tiles`` to ``grid.rho``."""
+    """Add the charge density of ``tiles`` to ``grid.rho``.
+
+    One flattened stencil per tile, one ``np.bincount`` accumulation pass.
+    """
     cell_volume = float(np.prod(grid.cell_size))
-    support = shape_support(order)
     for tile in tiles:
-        xi, yi, zi = grid.normalized_position(tile.x, tile.y, tile.z)
-        bx, wx = shape_factors(xi, order)
-        by, wy = shape_factors(yi, order)
-        bz, wz = shape_factors(zi, order)
-        q = charge * tile.w / cell_volume
-        for i in range(support):
-            gx = grid.wrap_node_index(bx + i, axis=0)
-            for j in range(support):
-                gy = grid.wrap_node_index(by + j, axis=1)
-                wij = wx[:, i] * wy[:, j]
-                for k in range(support):
-                    gz = grid.wrap_node_index(bz + k, axis=2)
-                    np.add.at(grid.rho, (gx, gy, gz), q * wij * wz[:, k])
+        if tile.num_particles == 0:
+            continue
+        stencil = StencilOperator.for_grid(grid, tile.x, tile.y, tile.z, order)
+        stencil.scatter(charge * tile.w / cell_volume, grid.rho)
 
 
 def deposit_reference(grid: Grid, container: ParticleContainer, order: int,
@@ -86,16 +86,24 @@ def deposit_reference(grid: Grid, container: ParticleContainer, order: int,
 
     from repro.exec import TileTask
 
+    shards = executor.partition(occupied)
+    scratches = ([scratch_grids.acquire(grid.config) for _ in shards]
+                 if executor.shares_memory else [None] * len(shards))
     tasks = [
         TileTask(_reference_shard_currents,
                  (grid.config, tuple(tile_payload(t) for t in shard),
-                  container.charge, order))
-        for shard in executor.partition(occupied)
+                  container.charge, order, scratch))
+        for shard, scratch in zip(shards, scratches)
     ]
-    for jx, jy, jz in executor.run(tasks):
-        grid.jx += jx
-        grid.jy += jy
-        grid.jz += jz
+    try:
+        for jx, jy, jz in executor.run(tasks):
+            grid.jx += jx
+            grid.jy += jy
+            grid.jz += jz
+    finally:
+        for scratch in scratches:
+            if scratch is not None:
+                scratch_grids.release(scratch)
 
 
 def deposit_rho_reference(grid: Grid, container: ParticleContainer, order: int,
@@ -108,11 +116,19 @@ def deposit_rho_reference(grid: Grid, container: ParticleContainer, order: int,
 
     from repro.exec import TileTask
 
+    shards = executor.partition(occupied)
+    scratches = ([scratch_grids.acquire(grid.config) for _ in shards]
+                 if executor.shares_memory else [None] * len(shards))
     tasks = [
         TileTask(_reference_shard_rho,
                  (grid.config, tuple(tile_payload(t) for t in shard),
-                  container.charge, order))
-        for shard in executor.partition(occupied)
+                  container.charge, order, scratch))
+        for shard, scratch in zip(shards, scratches)
     ]
-    for rho in executor.run(tasks):
-        grid.rho += rho
+    try:
+        for rho in executor.run(tasks):
+            grid.rho += rho
+    finally:
+        for scratch in scratches:
+            if scratch is not None:
+                scratch_grids.release(scratch)

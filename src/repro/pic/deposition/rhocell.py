@@ -32,7 +32,8 @@ from repro.pic.deposition.base import (
 )
 from repro.pic.grid import Grid
 from repro.pic.particles import ParticleTile
-from repro.pic.shapes import shape_support
+from repro.pic.shapes import combined_weights, shape_support
+from repro.pic.stencil import StencilOperator, cell_block_ids, scatter_flat
 
 
 def accumulate_rhocells(data: TileDepositionData, num_cells: int
@@ -40,7 +41,10 @@ def accumulate_rhocells(data: TileDepositionData, num_cells: int
     """Accumulate staged particles into per-cell rhocell blocks.
 
     Returns three arrays of shape ``(num_cells, S^3)`` — one per current
-    component — indexed by the tile-local cell id.
+    component — indexed by the tile-local cell id.  The block layout is a
+    flat-index scatter too: entry ``(cell, node)`` lives at linear id
+    ``cell * S^3 + node``, so each component is one ``np.bincount`` pass
+    over the flattened contributions.
     """
     if data.order == 2:
         raise ValueError(
@@ -56,11 +60,12 @@ def accumulate_rhocells(data: TileDepositionData, num_cells: int
     if data.num_particles == 0:
         return rho_jx, rho_jy, rho_jz
     # 3-D shape weights, flattened per particle to the rhocell layout
-    weights = np.einsum("pi,pj,pk->pijk", data.wx, data.wy, data.wz)
+    weights = combined_weights(data.wx, data.wy, data.wz)
     weights = weights.reshape(data.num_particles, nodes)
-    np.add.at(rho_jx, data.local_cell_ids, data.wqx[:, None] * weights)
-    np.add.at(rho_jy, data.local_cell_ids, data.wqy[:, None] * weights)
-    np.add.at(rho_jz, data.local_cell_ids, data.wqz[:, None] * weights)
+    block_ids = cell_block_ids(data.local_cell_ids, nodes)
+    scatter_flat(block_ids, data.wqx[:, None] * weights, rho_jx)
+    scatter_flat(block_ids, data.wqy[:, None] * weights, rho_jy)
+    scatter_flat(block_ids, data.wqz[:, None] * weights, rho_jz)
     return rho_jx, rho_jy, rho_jz
 
 
@@ -91,17 +96,14 @@ def reduce_rhocells_to_grid(grid: Grid, tile: ParticleTile, order: int,
     # CIC anchors at the cell's lower vertex, QSP one node below it
     offset = 0 if order == 1 else -1
 
-    node = 0
-    for i in range(support):
-        gx = grid.wrap_node_index(lx + offset + i, axis=0)
-        for j in range(support):
-            gy = grid.wrap_node_index(ly + offset + j, axis=1)
-            for k in range(support):
-                gz = grid.wrap_node_index(lz + offset + k, axis=2)
-                np.add.at(grid.jx, (gx, gy, gz), rho_jx[:, node])
-                np.add.at(grid.jy, (gx, gy, gz), rho_jy[:, node])
-                np.add.at(grid.jz, (gx, gy, gz), rho_jz[:, node])
-                node += 1
+    # one (num_cells, S^3) stencil, node order (i, j, k) row-major —
+    # identical to the rhocell block layout, so the blocks scatter as-is
+    op = StencilOperator.from_bases(grid.shape, grid.periodic,
+                                    lx + offset, ly + offset, lz + offset,
+                                    support)
+    op.scatter_values(rho_jx, grid.jx)
+    op.scatter_values(rho_jy, grid.jy)
+    op.scatter_values(rho_jz, grid.jz)
 
 
 class RhocellDeposition(DepositionKernel):

@@ -8,18 +8,22 @@ charge are node-centred, matching the rhocell formulation of the paper in
 which each particle deposits onto the vertices of its cell.
 
 Index wrapping for periodic axes and clamping for non-periodic axes is
-centralised here (:meth:`Grid.wrap_node_index`) so that every deposition
-kernel — the scalar reference, the rhocell variants and the MPU hybrid
-kernel — produces bit-identical grid currents.
+defined once in :func:`repro.pic.stencil.wrap_axis_indices`;
+:meth:`Grid.wrap_node_index` delegates to it, so cell indexing,
+redistribution and every deposition kernel — the scalar reference, the
+rhocell variants and the MPU hybrid kernel — share one convention and
+produce bit-identical grid currents.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import threading
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.config import GridConfig
+from repro.pic.stencil import wrap_axis_indices
 
 
 class Grid:
@@ -78,11 +82,8 @@ class Grid:
 
     def wrap_node_index(self, idx: np.ndarray, axis: int) -> np.ndarray:
         """Wrap (periodic) or clamp (non-periodic) node indices on ``axis``."""
-        n = self.shape[axis]
-        idx = np.asarray(idx)
-        if self.periodic[axis]:
-            return np.mod(idx, n)
-        return np.clip(idx, 0, n - 1)
+        return wrap_axis_indices(np.asarray(idx), self.shape[axis],
+                                 bool(self.periodic[axis]))
 
     def linear_cell_id(self, ix: np.ndarray, iy: np.ndarray, iz: np.ndarray
                        ) -> np.ndarray:
@@ -155,3 +156,65 @@ class Grid:
             )
         for name, arr in self.field_arrays().items():
             arr[...] = other.field_arrays()[name]
+
+
+class ScratchGridPool:
+    """Reusable scratch :class:`Grid` instances, keyed by geometry.
+
+    The executor shard tasks accumulate into shard-private scratch grids.
+    Allocating ten dense arrays per shard per step is pure overhead, so
+    callers lease grids here instead: :meth:`acquire` hands out a grid
+    with zeroed current and charge accumulators (bit-identical to a fresh
+    ``Grid``) and :meth:`release` returns it to the free list.
+
+    Lease discipline: a grid stays checked out until its consumer has
+    merged (or abandoned) the arrays it holds — the deposition callers
+    release only after the shard merge, because the task's return value
+    aliases the scratch arrays.  Field components (``ex`` .. ``bz``) are
+    *not* cleared on acquire; deposition tasks never read them and the
+    remote push task rebinds them wholesale.
+
+    The pool is thread-safe (the threads backend runs shard tasks
+    concurrently) and per-process (each worker process grows its own).
+    The free list is capped (``max_free``, across all geometries):
+    releases beyond the cap simply drop the grid, so long-lived campaign
+    processes sweeping many grid configurations cannot accumulate
+    retained arrays without bound.
+    """
+
+    def __init__(self, max_free: int = 32) -> None:
+        self.max_free = max_free
+        self._free: Dict[GridConfig, List[Grid]] = {}
+        self._num_free = 0
+        self._lock = threading.Lock()
+
+    def acquire(self, config: GridConfig) -> Grid:
+        """A scratch grid for ``config`` with zeroed current/charge."""
+        with self._lock:
+            stack = self._free.get(config)
+            grid = stack.pop() if stack else None
+            if grid is not None:
+                self._num_free -= 1
+        if grid is None:
+            return Grid(config)
+        grid.zero_currents()
+        grid.zero_charge()
+        return grid
+
+    def release(self, grid: Grid) -> None:
+        """Return a leased grid to the free list (dropped when full)."""
+        with self._lock:
+            if self._num_free >= self.max_free:
+                return
+            self._free.setdefault(grid.config, []).append(grid)
+            self._num_free += 1
+
+    def clear(self) -> None:
+        """Drop all pooled grids (tests / memory pressure)."""
+        with self._lock:
+            self._free.clear()
+            self._num_free = 0
+
+
+#: process-wide scratch pool shared by every executor shard task
+scratch_grids = ScratchGridPool()

@@ -149,6 +149,16 @@ class ParticleTile:
         redistribution step is responsible for relocating such particles.
         """
         ix, iy, iz = grid.cell_index(self.x, self.y, self.z)
+        return self.local_ids_from_cells(ix, iy, iz)
+
+    def local_ids_from_cells(self, ix: np.ndarray, iy: np.ndarray,
+                             iz: np.ndarray) -> np.ndarray:
+        """Tile-local cell ids from already-wrapped global cell indices.
+
+        The single definition of the clip-into-tile-box convention; the
+        deposition staging path calls this with its own wrapped indices
+        to avoid re-normalising the positions.
+        """
         cx, cy, cz = self.tile_cells
         lx = np.clip(ix - self.cell_lo[0], 0, cx - 1)
         ly = np.clip(iy - self.cell_lo[1], 0, cy - 1)

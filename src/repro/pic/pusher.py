@@ -114,19 +114,32 @@ def _push_shard_remote(grid_config, field_arrays: Tuple[np.ndarray, ...],
     workloads this backend targets (many particles per cell, modest
     grids); for field-dominated runs prefer ``backend="threads"``, whose
     shards read the caller's field arrays in place.
+
+    The geometry-only grid wrapper is leased from the worker-local
+    scratch pool and released at task end (the returned arrays are the
+    tiles' own, never the grid's, so immediate release is safe), which
+    avoids re-allocating ten dense arrays per shard per step.
     """
     from repro.pic.gather import gather_fields_for_tile
+    from repro.pic.grid import scratch_grids
     from repro.pic.particles import tile_from_payload
 
-    grid = Grid(grid_config)
-    grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz = field_arrays
-    out: List[Tuple[np.ndarray, ...]] = []
-    for payload in payloads:
-        tile = tile_from_payload(payload)
-        fields = gather_fields_for_tile(grid, tile, order)
-        push_tile(tile, fields, charge, mass, dt)
-        out.append((tile.x, tile.y, tile.z, tile.ux, tile.uy, tile.uz))
-    return out
+    grid = scratch_grids.acquire(grid_config)
+    own_fields = (grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz)
+    try:
+        grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz = field_arrays
+        out: List[Tuple[np.ndarray, ...]] = []
+        for payload in payloads:
+            tile = tile_from_payload(payload)
+            fields = gather_fields_for_tile(grid, tile, order)
+            push_tile(tile, fields, charge, mass, dt)
+            out.append((tile.x, tile.y, tile.z, tile.ux, tile.uy, tile.uz))
+        return out
+    finally:
+        # restore the grid's own field arrays before releasing: pooled
+        # grids must never alias the caller's live simulation state
+        (grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz) = own_fields
+        scratch_grids.release(grid)
 
 
 class BorisPusher:

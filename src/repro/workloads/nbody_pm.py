@@ -19,10 +19,12 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.pic.shapes import shape_factors, shape_support
+from repro.pic.stencil import StencilOperator
 
 #: Gravitational constant [m^3 kg^-1 s^-2].
 G_NEWTON = 6.674_30e-11
+
+_PERIODIC = (True, True, True)
 
 
 @dataclass
@@ -61,25 +63,19 @@ class ParticleMeshGravity:
         if masses.shape[0] != positions.shape[0]:
             raise ValueError("masses length must match positions")
 
-        nx, ny, nz = self.n_cell
-        dx, dy, dz = self.cell_size
         rho = np.zeros(self.n_cell)
-        support = shape_support(self.shape_order)
-
-        bx, wx = shape_factors(positions[:, 0] / dx, self.shape_order)
-        by, wy = shape_factors(positions[:, 1] / dy, self.shape_order)
-        bz, wz = shape_factors(positions[:, 2] / dz, self.shape_order)
-        cell_volume = dx * dy * dz
-        amplitude = masses / cell_volume
-        for i in range(support):
-            gx = np.mod(bx + i, nx)
-            for j in range(support):
-                gy = np.mod(by + j, ny)
-                wij = wx[:, i] * wy[:, j]
-                for k in range(support):
-                    gz = np.mod(bz + k, nz)
-                    np.add.at(rho, (gx, gy, gz), amplitude * wij * wz[:, k])
+        stencil = self._stencil(positions)
+        stencil.scatter(masses / np.prod(self.cell_size), rho)
         return rho
+
+    def _stencil(self, positions: np.ndarray) -> StencilOperator:
+        """The flattened deposition/gather stencil of a position batch."""
+        dx, dy, dz = self.cell_size
+        return StencilOperator.for_box(
+            self.n_cell, _PERIODIC,
+            positions[:, 0] / dx, positions[:, 1] / dy, positions[:, 2] / dz,
+            self.shape_order,
+        )
 
     # ------------------------------------------------------------------
     def solve_potential(self, rho: np.ndarray) -> np.ndarray:
@@ -110,26 +106,14 @@ class ParticleMeshGravity:
     def gather_acceleration(self, positions: np.ndarray,
                             fields: Tuple[np.ndarray, np.ndarray, np.ndarray]
                             ) -> np.ndarray:
-        """Interpolate the acceleration field back to particle positions."""
+        """Interpolate the acceleration field back to particle positions.
+
+        All three components share one flattened stencil (ids and weights
+        computed once), mirroring the six-component PIC field gather.
+        """
         positions = np.asarray(positions, dtype=np.float64)
-        nx, ny, nz = self.n_cell
-        dx, dy, dz = self.cell_size
-        support = shape_support(self.shape_order)
-        bx, wx = shape_factors(positions[:, 0] / dx, self.shape_order)
-        by, wy = shape_factors(positions[:, 1] / dy, self.shape_order)
-        bz, wz = shape_factors(positions[:, 2] / dz, self.shape_order)
-        result = np.zeros((positions.shape[0], 3))
-        for i in range(support):
-            gx = np.mod(bx + i, nx)
-            for j in range(support):
-                gy = np.mod(by + j, ny)
-                wij = wx[:, i] * wy[:, j]
-                for k in range(support):
-                    gz = np.mod(bz + k, nz)
-                    w = wij * wz[:, k]
-                    for axis in range(3):
-                        result[:, axis] += w * fields[axis][gx, gy, gz]
-        return result
+        stencil = self._stencil(positions)
+        return np.stack(stencil.gather_many(fields), axis=-1)
 
     # ------------------------------------------------------------------
     def step(self, positions: np.ndarray, velocities: np.ndarray,

@@ -17,7 +17,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro import constants
-from repro.pic.shapes import shape_factors, shape_support
+from repro.pic.stencil import StencilOperator
 
 
 @dataclass
@@ -51,22 +51,14 @@ class PMEChargeAssignment:
         if charges.shape[0] != positions.shape[0]:
             raise ValueError("charges length must match positions")
 
-        nx, ny, nz = self.n_cell
         dx, dy, dz = self.cell_size
         rho = np.zeros(self.n_cell)
-        support = shape_support(self.shape_order)
-        bx, wx = shape_factors(positions[:, 0] / dx, self.shape_order)
-        by, wy = shape_factors(positions[:, 1] / dy, self.shape_order)
-        bz, wz = shape_factors(positions[:, 2] / dz, self.shape_order)
-        amplitude = charges / (dx * dy * dz)
-        for i in range(support):
-            gx = np.mod(bx + i, nx)
-            for j in range(support):
-                gy = np.mod(by + j, ny)
-                wij = wx[:, i] * wy[:, j]
-                for k in range(support):
-                    gz = np.mod(bz + k, nz)
-                    np.add.at(rho, (gx, gy, gz), amplitude * wij * wz[:, k])
+        stencil = StencilOperator.for_box(
+            self.n_cell, (True, True, True),
+            positions[:, 0] / dx, positions[:, 1] / dy, positions[:, 2] / dz,
+            self.shape_order,
+        )
+        stencil.scatter(charges / (dx * dy * dz), rho)
         return rho
 
     # ------------------------------------------------------------------
