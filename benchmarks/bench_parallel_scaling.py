@@ -12,12 +12,19 @@ at N, and on a single-core machine (CI sandboxes) every backend collapses
 to ~1x — the harness prints the visible core count and only asserts the
 >=1.5x target at 4 shards when at least 4 cores are available.
 
+The measured rows are written to ``BENCH_parallel_scaling.json`` (repo
+root, override with ``$REPRO_BENCH_OUTPUT``) as a perf-trajectory
+datapoint; the committed baseline was re-measured after the PR-3
+flat-index stencil rewrite, whose single-pass ``np.bincount`` scatter
+shrinks the per-shard work the executor amortises.
+
 Run standalone:  PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
 Or via pytest:   python -m pytest benchmarks/bench_parallel_scaling.py -s
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Dict, List, Tuple
@@ -128,6 +135,37 @@ def best_speedup_at(rows: List[Dict[str, object]], shards: int) -> float:
     return max(candidates, default=0.0)
 
 
+def output_path() -> str:
+    """Trajectory JSON location (repo root by default).
+
+    The override variable is benchmark-specific so a suite-wide run with
+    one override cannot make the trajectory writers clobber each other.
+    """
+    default = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_parallel_scaling.json")
+    return os.environ.get("REPRO_BENCH_SCALING_OUTPUT", default)
+
+
+def write_report(rows: List[Dict[str, object]], cores: int) -> str:
+    """Write the scaling rows as a perf-trajectory JSON record."""
+    report = {
+        "benchmark": "parallel_scaling",
+        "engine": "flat-index stencil (post-PR3) + tile-shard executor",
+        "n_cell": list(BENCH_N_CELL),
+        "tile_size": list(BENCH_TILE),
+        "ppc": BENCH_PPC,
+        "steps": BENCH_STEPS,
+        "reps": BENCH_REPS,
+        "cores_visible": cores,
+        "rows": rows,
+    }
+    path = output_path()
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main() -> None:
     cores = available_cores()
     print(f"tile-sharded step loop, uniform plasma "
@@ -135,6 +173,8 @@ def main() -> None:
           f"PPC={BENCH_PPC}, {cores} core(s) visible")
     rows = run_scaling()
     print(format_rows(rows))
+    path = write_report(rows, cores)
+    print(f"timings written to {path}")
 
     assert all(row["bitwise_parity"] for row in rows), \
         "a backend broke the fixed-reduction-order determinism contract"

@@ -136,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="TX,TY,TZ",
                           help="particle tile size per axis (defaults: "
                                "8,8,8 uniform / 8,8,16 lwfa)")
+    campaign.add_argument("--domains", type=_int3, default=None,
+                          metavar="PX,PY,PZ",
+                          help="domain decomposition of the grid "
+                               "(repro.domain; default: 1,1,1 = single "
+                               "domain).  Decomposed runs are bitwise "
+                               "identical to single-domain ones at a "
+                               "fixed shard count")
     campaign.add_argument("--seed", type=_nonnegative_int, default=2026,
                           help="workload RNG seed (default: 2026)")
     campaign.add_argument("--no-scramble", action="store_true",
@@ -164,6 +171,7 @@ def _build_workloads(args) -> list:
     from repro.workloads.lwfa import LWFAWorkload
     from repro.workloads.uniform import UniformPlasmaWorkload
 
+    domains = args.domains or (1, 1, 1)
     workloads = []
     for ppc in args.ppc:
         if args.workload == "uniform":
@@ -173,6 +181,7 @@ def _build_workloads(args) -> list:
                 ppc=ppc,
                 shape_order=args.shape_order or 1,
                 max_steps=args.steps,
+                domains=domains,
                 seed=args.seed,
             ))
         else:
@@ -181,11 +190,19 @@ def _build_workloads(args) -> list:
                 tile_size=args.tile_size or (8, 8, 16),
                 ppc=ppc,
                 max_steps=args.steps,
+                domains=domains,
                 seed=args.seed,
             ))
         # fail fast on a PPC outside the paper's scan (workload builders
         # only check it lazily when the simulation is built)
         workloads[-1].ppc_triple()
+    if domains != (1, 1, 1):
+        # fail fast on a decomposition the tile lattice cannot support
+        from repro.domain.decomposition import Decomposition
+
+        config = workloads[0].build_config()
+        Decomposition(config.grid, domains,
+                      config.domain.halo_for_order(config.shape_order))
     return workloads
 
 

@@ -253,6 +253,54 @@ class ExecutionConfig:
 
 
 @dataclass(frozen=True)
+class DomainConfig:
+    """Domain decomposition of the grid (:mod:`repro.domain`).
+
+    Parameters
+    ----------
+    domains:
+        Number of subdomains along (x, y, z).  The grid is partitioned
+        into an axis-aligned block of subdomains whose boundaries are
+        aligned with the particle-tile lattice; ``(1, 1, 1)`` (the
+        default) selects the classic single-domain step path.
+    halo:
+        Ghost-ring width in cells around every subdomain.  ``None``
+        (default) sizes it automatically from the simulation's shape
+        order: ``max(shape_order, 1)`` covers both the deposition /
+        gather stencil support and the field solver's one-cell reach.
+
+    The determinism contract is strict: for a fixed executor shard
+    count, a decomposed run is **bitwise identical** to the
+    single-domain run — fields, J/rho and the energy history.
+    """
+
+    domains: Tuple[int, int, int] = (1, 1, 1)
+    halo: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "domains", _as_int3(self.domains, "domains"))
+        if self.halo is not None and int(self.halo) <= 0:
+            raise ValueError(f"halo must be positive, got {self.halo}")
+
+    @property
+    def num_domains(self) -> int:
+        """Total number of subdomains."""
+        px, py, pz = self.domains
+        return px * py * pz
+
+    @property
+    def is_decomposed(self) -> bool:
+        """True when more than one subdomain is requested."""
+        return self.num_domains > 1
+
+    def halo_for_order(self, shape_order: int) -> int:
+        """Effective halo width for a given deposition shape order."""
+        if self.halo is not None:
+            return int(self.halo)
+        return max(int(shape_order), 1)
+
+
+@dataclass(frozen=True)
 class MovingWindowConfig:
     """Moving-window settings (WarpX ``warpx.do_moving_window``)."""
 
@@ -283,6 +331,7 @@ class SimulationConfig:
     laser: LaserConfig | None = None
     moving_window: MovingWindowConfig = field(default_factory=MovingWindowConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    domain: DomainConfig = field(default_factory=DomainConfig)
     seed: int = 12345
 
     def __post_init__(self) -> None:

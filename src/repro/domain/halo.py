@@ -1,0 +1,133 @@
+"""Halo exchange: refreshing subdomain ghost layers from their owners.
+
+Every subdomain slab pads its interior with ``halo`` ghost cells per
+side.  Before a stage reads neighbouring data — the field gather reads
+the stencil box around each tile, each FDTD sub-update reads one cell
+past the cells it writes — the ghost layers must hold exactly the values
+the global arrays would have supplied:
+
+* ``mode="wrap"`` — periodic wrap on **every** axis.  This is what the
+  field solver needs: the global solver evaluates its finite differences
+  with periodic rolls on all axes (non-periodic boundaries are imposed
+  *afterwards* by :mod:`repro.pic.boundary`), so the decomposed solve
+  must see wrapped ghost values even on open axes to stay bitwise
+  identical.
+* ``mode="boundary"`` — wrap on periodic axes, clamp (repeat the edge
+  plane) on open axes.  This is what the particle gather needs: the
+  flat-index stencil engine clamps out-of-domain node indices on open
+  axes.
+
+The exchange sweeps the axes in a fixed order (x, then y, then z) — the
+classic telescoping pattern: the x-pass copies interior cross-sections,
+and each later pass copies regions that *include* the ghost layers the
+earlier passes filled, so edge and corner ghosts are composed from
+at most three straight copies without explicit corner messages.  All
+transfers are pure array copies between slabs, so the exchanged values
+are bit-exact images of the owning interiors whatever order the copies
+run in.
+
+Ghost *reduction* for deposited current/charge — the adjoint direction,
+summing ghost contributions back onto the owner — does not live here:
+the decomposed deposition applies every tile's stencil box directly to
+each overlapping subdomain window in the global (shard, tile, segment)
+fold order (see :meth:`repro.pic.stencil.StencilOperator.add_box_to_window`
+and :mod:`repro.domain.runtime`), which is what keeps the seam sums
+bitwise identical to the single-array path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.domain.decomposition import Decomposition, Subdomain
+
+#: field-name groups commonly exchanged together
+E_FIELDS = ("ex", "ey", "ez")
+B_FIELDS = ("bx", "by", "bz")
+EM_FIELDS = E_FIELDS + B_FIELDS
+
+#: one copy: (destination subdomain, dest layer, source subdomain, src layer)
+_CopyOp = Tuple[Subdomain, int, Subdomain, int]
+
+
+class HaloExchange:
+    """Refreshes the ghost layers of every subdomain slab."""
+
+    def __init__(self, decomposition: Decomposition,
+                 periodic: Sequence[bool]):
+        self.decomposition = decomposition
+        self.periodic = tuple(bool(p) for p in periodic)
+        self._plans = {
+            "wrap": self._build_plan(always_wrap=True),
+            "boundary": self._build_plan(always_wrap=False),
+        }
+
+    # ------------------------------------------------------------------
+    def _build_plan(self, always_wrap: bool) -> List[List[_CopyOp]]:
+        """Per-axis copy lists; sources always read interior layers."""
+        decomp = self.decomposition
+        n_cell = decomp.grid_config.n_cell
+        h = decomp.halo
+        plan: List[List[_CopyOp]] = []
+        for axis in range(3):
+            ops: List[_CopyOp] = []
+            n = n_cell[axis]
+            for sub in decomp.subdomains:
+                interior = sub.interior_shape[axis]
+                halo_layers = list(range(0, h)) + \
+                    list(range(h + interior, sub.slab_shape[axis]))
+                for local in halo_layers:
+                    g = sub.origin[axis] + local
+                    if always_wrap or self.periodic[axis]:
+                        src_cell = g % n
+                    else:
+                        src_cell = min(max(g, 0), n - 1)
+                    owner_pos = decomp.owner_along_axis(axis, src_cell)
+                    src_index = list(sub.index)
+                    src_index[axis] = owner_pos
+                    src_sub = decomp.domain_at(tuple(src_index))
+                    src_local = src_cell - src_sub.origin[axis]
+                    ops.append((sub, local, src_sub, src_local))
+            plan.append(ops)
+        return plan
+
+    @staticmethod
+    def _region(axis: int, sub: Subdomain, layer: int
+                ) -> Tuple[slice, slice, slice]:
+        """Slab slices of one ghost/source layer for the ``axis`` pass.
+
+        Axes already swept (``< axis``) span the full slab — their ghost
+        layers are valid and must be forwarded so corners compose; axes
+        not yet swept (``> axis``) are restricted to the interior.
+        """
+        slices: List[slice] = []
+        h = sub.halo
+        for a in range(3):
+            if a == axis:
+                slices.append(slice(layer, layer + 1))
+            elif a < axis:
+                slices.append(slice(None))
+            else:
+                slices.append(slice(h, h + sub.interior_shape[a]))
+        return tuple(slices)
+
+    # ------------------------------------------------------------------
+    def exchange(self, field_names: Sequence[str], mode: str = "wrap"
+                 ) -> None:
+        """Refresh the named slab fields' ghost layers everywhere.
+
+        ``mode`` is ``"wrap"`` (periodic wrap on all axes — field solve)
+        or ``"boundary"`` (respect the grid's boundary kinds — gather).
+        """
+        try:
+            plan = self._plans[mode]
+        except KeyError:
+            raise ValueError(f"unknown halo mode {mode!r}") from None
+        for axis in range(3):
+            for sub, dest_layer, src_sub, src_layer in plan[axis]:
+                dest_region = self._region(axis, sub, dest_layer)
+                src_region = self._region(axis, src_sub, src_layer)
+                for name in field_names:
+                    dest = getattr(sub.slab, name)
+                    src = getattr(src_sub.slab, name)
+                    dest[dest_region] = src[src_region]

@@ -1,0 +1,619 @@
+"""The domain-decomposed step loop.
+
+:class:`DomainRuntime` owns the decomposition, the halo-exchange engine
+and one FDTD solver per subdomain, and drives every stage of the PIC
+cycle per subdomain when :class:`repro.pic.simulation.Simulation` is
+configured with more than one domain:
+
+1. **gather + push** — ghost layers are refreshed (``boundary`` mode)
+   and every tile gathers from its owning subdomain's halo-padded slab,
+2. **migration** — the existing boundary/redistribute scan moves
+   particles between tiles; tiles are statically owned by subdomains, so
+   a cross-subdomain migration is just a tile move whose destination
+   belongs to another block (counted by :class:`MigrationStats`),
+3. **deposition + seam reduction** — every tile's stencil box is
+   accumulated once and applied to each subdomain window it overlaps,
+4. **field solve** — each slab runs the shared scratch-pooled
+   :class:`~repro.pic.maxwell.FDTDSolver` with halo exchanges between
+   the three leap-frog sub-updates; PEC/absorbing boundaries and the
+   moving window touch only the subdomains on the global edge.
+
+Determinism contract (bitwise)
+------------------------------
+The decomposed run is **bitwise identical** to the single-domain run at
+a fixed executor shard count, for every ``(px, py, pz)``:
+
+* all position -> weight staging happens in the **global frame** (the
+  frame grid's origin and cell size), and only the resulting *integer*
+  base indices are translated into slab coordinates — translating the
+  positions themselves would re-round the floating-point normalisation;
+* the gather reads slab values that are bit-exact copies of the global
+  arrays (halo exchange is pure copying), through identical ids and
+  weights, so the fused einsum reduction produces identical momenta;
+* deposition keeps the global fold order: the *same* contiguous shard
+  partition over the global tile list, each tile's box accumulated by
+  the same single ``np.bincount`` pass, applied to the disjoint
+  subdomain windows in the same nested segment order
+  (:meth:`~repro.pic.stencil.StencilOperator.add_box_to_window`), and
+  per-shard window accumulators merged in shard order — every grid node
+  sees exactly the additions of the single-array path, in the same
+  order;
+* the field solve runs the same elementwise update sequence on
+  halo-padded slabs whose ghost layers wrap periodically on every axis,
+  exactly like the global solver's ``np.roll`` differences; only
+  interior cells are retained.
+
+The process backend is supported for deposition (window accumulators
+pickle back); the in-place gather/push stage falls back to the inline
+loop under the process backend, whose per-tile results are partition
+independent anyway.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.domain.decomposition import Decomposition, Subdomain
+from repro.domain.halo import EM_FIELDS, HaloExchange
+from repro.domain.migration import MigrationStats
+from repro.pic.deposition.base import prepare_tile_data
+from repro.pic.grid import (
+    Grid,
+    apply_grid_geometry,
+    grid_geometry,
+    scratch_arrays,
+    scratch_grids,
+)
+from repro.pic.maxwell import FDTDSolver
+from repro.pic.particles import (
+    ParticleContainer,
+    ParticleTile,
+    tile_from_payload,
+    tile_payload,
+)
+from repro.pic.pusher import push_tile
+from repro.pic.shapes import shape_factors
+from repro.pic.stencil import StencilOperator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pic.simulation import Simulation
+
+#: slab field/current array names, in Grid.field_arrays order
+_ALL_FIELDS = ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz", "rho")
+
+
+def slab_stencil(frame: Grid, slab_shape: Tuple[int, int, int],
+                 origin: Tuple[int, int, int], tile: ParticleTile,
+                 order: int) -> StencilOperator:
+    """A tile's stencil staged in the global frame, addressed in the slab.
+
+    Shape factors are computed from the *global* normalised positions
+    (bitwise identical to the single-domain staging); only the integer
+    base indices are shifted by the slab origin.  The resulting box must
+    lie strictly inside the slab — guaranteed by the halo sizing rule
+    ``halo >= shape_order`` — so no wrapping or clamping ever happens in
+    slab coordinates.
+    """
+    xi, yi, zi = frame.normalized_position(tile.x, tile.y, tile.z)
+    base_x, wx = shape_factors(xi, order)
+    base_y, wy = shape_factors(yi, order)
+    base_z, wz = shape_factors(zi, order)
+    op = StencilOperator.from_shape_data(
+        slab_shape, (False, False, False),
+        base_x - origin[0], base_y - origin[1], base_z - origin[2],
+        wx, wy, wz,
+    )
+    if op.box_dims is None or any(
+        op.box_lo[a] < 0 or op.box_lo[a] + op.box_dims[a] > slab_shape[a]
+        for a in range(3)
+    ):
+        raise RuntimeError(
+            "tile stencil box escapes the subdomain slab — halo ring "
+            "smaller than the stencil support"
+        )
+    return op
+
+
+def _domain_push_shard(frame: Grid, entries: Sequence[Tuple], charge: float,
+                       mass: float, dt: float, order: int) -> None:
+    """Executor task: gather from slabs + push one shard of tiles in place."""
+    for tile, slab, origin in entries:
+        stencil = slab_stencil(frame, slab.shape, origin, tile, order)
+        fields = stencil.gather_many(
+            (slab.ex, slab.ey, slab.ez, slab.bx, slab.by, slab.bz)
+        )
+        push_tile(tile, fields, charge, mass, dt)
+
+
+def _domain_deposit_shard(frame_config, geometry: Tuple, windows: Tuple,
+                          payloads: Tuple, charge: float, order: int,
+                          outs: Optional[List[Tuple[np.ndarray, ...]]] = None
+                          ) -> List[Tuple[np.ndarray, ...]]:
+    """Executor task: deposit one shard's current into per-window scratch.
+
+    ``windows`` is the picklable ``(window_lo, window_dims)`` geometry of
+    every subdomain.  Shared-memory callers lease the window accumulators
+    (``outs``) and release them after the merge; process workers allocate
+    fresh zeroed arrays (``None``) that cross the pickle boundary.
+
+    Geometry comes from a pooled grid built from ``frame_config`` with
+    the live ``(lo, hi)`` snapshot imposed — the same convention as the
+    global shard tasks, so the staged shape factors are bit-identical at
+    any shard count.  The grid is a geometry carrier only (its dense
+    arrays are never touched), so the lease skips the accumulator zeroing.
+    """
+    frame = apply_grid_geometry(
+        scratch_grids.acquire(frame_config, zero=False), geometry)
+    try:
+        if outs is None:
+            outs = [tuple(np.zeros(dims) for _ in range(3))
+                    for _, dims in windows]
+        for payload in payloads:
+            tile = tile_from_payload(payload)
+            data = prepare_tile_data(frame, tile, charge, order)
+            if data.num_particles == 0:
+                continue
+            stencil = data.node_stencil(frame)
+            for comp, amplitude in enumerate((data.wqx, data.wqy, data.wqz)):
+                box = stencil.scatter_box(amplitude)
+                for (w_lo, _), out in zip(windows, outs):
+                    stencil.add_box_to_window(box, w_lo, out[comp])
+        return outs
+    finally:
+        scratch_grids.release(frame)
+
+
+def _domain_rho_shard(frame_config, geometry: Tuple, windows: Tuple,
+                      payloads: Tuple, charge: float, order: int,
+                      outs: Optional[List[np.ndarray]] = None
+                      ) -> List[np.ndarray]:
+    """Executor task: deposit one shard's charge density into window scratch."""
+    frame = apply_grid_geometry(
+        scratch_grids.acquire(frame_config, zero=False), geometry)
+    try:
+        if outs is None:
+            outs = [np.zeros(dims) for _, dims in windows]
+        cell_volume = float(np.prod(frame.cell_size))
+        for payload in payloads:
+            tile = tile_from_payload(payload)
+            if tile.num_particles == 0:
+                continue
+            stencil = StencilOperator.for_grid(frame, tile.x, tile.y, tile.z,
+                                               order)
+            box = stencil.scatter_box(charge * tile.w / cell_volume)
+            for (w_lo, _), out in zip(windows, outs):
+                stencil.add_box_to_window(box, w_lo, out)
+        return outs
+    finally:
+        scratch_grids.release(frame)
+
+
+def _solver_stage_shard(solvers: Sequence[FDTDSolver], method: str,
+                        dt: float) -> None:
+    """Executor task: run one leap-frog sub-update on a shard of slabs."""
+    for solver in solvers:
+        getattr(solver, method)(dt)
+
+
+class DomainRuntime:
+    """Decomposed state and step stages attached to a ``Simulation``."""
+
+    def __init__(self, simulation: "Simulation"):
+        config = simulation.config
+        self.config = config
+        halo = config.domain.halo_for_order(config.shape_order)
+        self.decomposition = Decomposition(config.grid, config.domain.domains,
+                                           halo)
+        self.decomposition.build_slabs(simulation.grid)
+        self.halo = HaloExchange(self.decomposition, simulation.grid.periodic)
+        self.migration = MigrationStats(self.decomposition)
+        self._windows = self.decomposition.windows()
+        self.solvers: List[FDTDSolver] = (
+            [FDTDSolver(sub.slab, scheme=config.field_solver)
+             for sub in self.decomposition.subdomains]
+            if config.field_solver != "none" else []
+        )
+        #: slabs are seeded from the frame grid lazily, on first step or
+        #: first energy record, so fields set on ``simulation.grid``
+        #: *after* construction (the classic way to impose an initial
+        #: condition) are carried into the decomposed state
+        self._synced = False
+
+    # ------------------------------------------------------------------
+    @property
+    def subdomains(self) -> List[Subdomain]:
+        """The decomposition's subdomains (row-major order)."""
+        return self.decomposition.subdomains
+
+    def _current_views(self) -> List[Tuple[np.ndarray, ...]]:
+        """Interior (jx, jy, jz) views of every slab, decomposition order."""
+        return [
+            tuple(sub.interior_view(arr) for arr in
+                  (sub.slab.jx, sub.slab.jy, sub.slab.jz))
+            for sub in self.subdomains
+        ]
+
+    # ------------------------------------------------------------------
+    # stage 1: gather + push
+    # ------------------------------------------------------------------
+    def push(self, simulation: "Simulation", container: ParticleContainer
+             ) -> None:
+        """Gather from the slabs and advance every particle of a species.
+
+        The per-tile push has no cross-tile accumulation, so it is
+        bitwise independent of the shard partition; the process backend
+        falls back to the inline loop (tiles mutate in place).
+        """
+        decomp = self.decomposition
+        entries = [
+            (tile, decomp.subdomains[decomp.tile_owner[tid]].slab,
+             decomp.subdomains[decomp.tile_owner[tid]].origin)
+            for tid, tile in enumerate(container.tiles)
+            if tile.num_particles > 0
+        ]
+        if not entries:
+            return
+        frame = simulation.grid
+        executor = simulation.executor
+        charge, mass = container.charge, container.mass
+        dt, order = simulation.dt, simulation.config.shape_order
+        if (executor is None or executor.is_trivial
+                or not executor.shares_memory or len(entries) <= 1):
+            _domain_push_shard(frame, entries, charge, mass, dt, order)
+            return
+
+        from repro.exec import TileTask
+
+        tasks = [TileTask(_domain_push_shard,
+                          (frame, shard, charge, mass, dt, order))
+                 for shard in executor.partition(entries)]
+        executor.run(tasks)
+
+    # ------------------------------------------------------------------
+    # stage 3: deposition with ghost/seam reduction
+    # ------------------------------------------------------------------
+    def zero_currents(self) -> None:
+        """Zero every slab's current accumulators (whole slab, halo too)."""
+        for sub in self.subdomains:
+            sub.slab.zero_currents()
+
+    def zero_charge(self) -> None:
+        """Zero every slab's charge accumulator."""
+        for sub in self.subdomains:
+            sub.slab.zero_charge()
+
+    def deposit_reference(self, simulation: "Simulation",
+                          container: ParticleContainer) -> None:
+        """Add the container's current to the slabs (reference kernel).
+
+        Follows exactly the global :func:`deposit_reference` structure:
+        same shard partition of the non-empty tiles, per-tile boxes
+        applied to the disjoint subdomain windows in segment order, and
+        per-shard window accumulators merged in shard order — bitwise
+        identical to the single-domain deposition.
+        """
+        frame = simulation.grid
+        executor = simulation.executor
+        order = simulation.config.shape_order
+        charge = container.charge
+        occupied = container.nonempty_tiles()
+        views = self._current_views()
+        if (executor is None or executor.is_trivial or len(occupied) <= 1):
+            for tile in occupied:
+                data = prepare_tile_data(frame, tile, charge, order)
+                if data.num_particles == 0:
+                    continue
+                stencil = data.node_stencil(frame)
+                for comp, amplitude in enumerate(
+                        (data.wqx, data.wqy, data.wqz)):
+                    box = stencil.scatter_box(amplitude)
+                    for sub, out in zip(self.subdomains, views):
+                        stencil.add_box_to_window(box, sub.cell_lo, out[comp])
+            return
+
+        from repro.exec import TileTask
+
+        shards = executor.partition(occupied)
+        leases: List[Optional[List[Tuple[np.ndarray, ...]]]] = []
+        for _ in shards:
+            if executor.shares_memory:
+                leases.append([
+                    tuple(scratch_arrays.acquire(dims, zero=True)
+                          for _ in range(3))
+                    for _, dims in self._windows
+                ])
+            else:
+                leases.append(None)
+        geometry = grid_geometry(frame)
+        tasks = [
+            TileTask(_domain_deposit_shard,
+                     (frame.config, geometry, self._windows,
+                      tuple(tile_payload(t) for t in shard),
+                      charge, order, lease))
+            for shard, lease in zip(shards, leases)
+        ]
+        try:
+            for shard_outs in executor.run(tasks):
+                for out3, view3 in zip(shard_outs, views):
+                    for out, view in zip(out3, view3):
+                        view += out
+        finally:
+            for lease in leases:
+                if lease is not None:
+                    for out3 in lease:
+                        for arr in out3:
+                            scratch_arrays.release(arr)
+
+    def deposit_rho(self, simulation: "Simulation",
+                    container: ParticleContainer) -> None:
+        """Add the container's charge density to the slabs."""
+        frame = simulation.grid
+        executor = simulation.executor
+        order = simulation.config.shape_order
+        charge = container.charge
+        occupied = container.nonempty_tiles()
+        views = [sub.interior_view(sub.slab.rho) for sub in self.subdomains]
+        if (executor is None or executor.is_trivial or len(occupied) <= 1):
+            cell_volume = float(np.prod(frame.cell_size))
+            for tile in occupied:
+                stencil = StencilOperator.for_grid(frame, tile.x, tile.y,
+                                                   tile.z, order)
+                box = stencil.scatter_box(charge * tile.w / cell_volume)
+                for sub, out in zip(self.subdomains, views):
+                    stencil.add_box_to_window(box, sub.cell_lo, out)
+            return
+
+        from repro.exec import TileTask
+
+        shards = executor.partition(occupied)
+        leases = [
+            ([scratch_arrays.acquire(dims, zero=True)
+              for _, dims in self._windows]
+             if executor.shares_memory else None)
+            for _ in shards
+        ]
+        geometry = grid_geometry(frame)
+        tasks = [
+            TileTask(_domain_rho_shard,
+                     (frame.config, geometry, self._windows,
+                      tuple(tile_payload(t) for t in shard),
+                      charge, order, lease))
+            for shard, lease in zip(shards, leases)
+        ]
+        try:
+            for shard_outs in executor.run(tasks):
+                for out, view in zip(shard_outs, views):
+                    view += out
+        finally:
+            for lease in leases:
+                if lease is not None:
+                    for arr in lease:
+                        scratch_arrays.release(arr)
+
+    def pull_currents_from_frame(self, frame: Grid) -> None:
+        """Copy frame-grid currents into the slab interiors (exact copies).
+
+        Fallback for instrumented :class:`DepositionStrategy` objects,
+        which run on the global frame exactly as in the single-domain
+        path; copying their result into the slabs is bitwise-neutral.
+        """
+        for sub in self.subdomains:
+            for name in ("jx", "jy", "jz"):
+                sub.interior_view(getattr(sub.slab, name))[...] = \
+                    getattr(frame, name)[sub.global_slices]
+
+    # ------------------------------------------------------------------
+    # stage 4: laser, field solve, boundaries
+    # ------------------------------------------------------------------
+    def inject_laser(self, simulation: "Simulation") -> None:
+        """Add the antenna drive on every subdomain crossing its plane."""
+        laser = simulation.laser
+        values = laser.drive(simulation.grid, simulation.time, simulation.dt)
+        if values is None:
+            return
+        axis = laser.axis
+        plane = laser.plane_index
+        name = laser.field_name
+        trans_axes = [a for a in range(3) if a != axis]
+        for sub in self.subdomains:
+            if not sub.cell_lo[axis] <= plane < sub.cell_hi[axis]:
+                continue
+            index: List[object] = [None, None, None]
+            index[axis] = plane - sub.origin[axis]
+            for a in trans_axes:
+                index[a] = slice(sub.halo, sub.halo + sub.interior_shape[a])
+            window = tuple(
+                slice(sub.cell_lo[a], sub.cell_hi[a]) for a in trans_axes
+            )
+            getattr(sub.slab, name)[tuple(index)] += values[window]
+
+    def solve(self, simulation: "Simulation") -> None:
+        """One leap-frog field update per slab, halos exchanged between.
+
+        Each sub-update reads at most one cell past the cells it keeps,
+        so a ``wrap``-mode exchange before each of the three sub-updates
+        makes every retained interior cell a bitwise replica of the
+        global solver's update.
+        """
+        dt = simulation.dt
+        e_names = ("ex", "ey", "ez")
+        b_names = ("bx", "by", "bz")
+        self.halo.exchange(e_names, mode="wrap")
+        self._run_solver_stage(simulation, "push_b", 0.5 * dt)
+        self.halo.exchange(b_names, mode="wrap")
+        self._run_solver_stage(simulation, "push_e", dt)
+        self.halo.exchange(e_names, mode="wrap")
+        self._run_solver_stage(simulation, "push_b", 0.5 * dt)
+
+    def _run_solver_stage(self, simulation: "Simulation", method: str,
+                          dt: float) -> None:
+        executor = simulation.executor
+        if (executor is None or executor.is_trivial
+                or not executor.shares_memory or len(self.solvers) <= 1):
+            _solver_stage_shard(self.solvers, method, dt)
+            return
+
+        from repro.exec import TileTask
+
+        tasks = [TileTask(_solver_stage_shard, (shard, method, dt))
+                 for shard in executor.partition(self.solvers)]
+        executor.run(tasks)
+
+    def apply_boundaries(self, simulation: "Simulation") -> None:
+        """PEC/absorbing boundaries on the subdomains touching the edge."""
+        boundaries = simulation.boundaries
+        shape = simulation.grid.shape
+        for sub in self.subdomains:
+            fields = {
+                name: sub.interior_view(getattr(sub.slab, name))
+                for name in EM_FIELDS
+            }
+            boundaries.apply_window(fields, sub.cell_lo, shape)
+
+    # ------------------------------------------------------------------
+    # moving window
+    # ------------------------------------------------------------------
+    def shift_window_fields(self, grid: Grid, shift: int) -> None:
+        """Shift every slab's interior by ``shift`` cells along the window axis.
+
+        Installed as :attr:`MovingWindow.field_shifter`.  Pure data
+        movement: each subdomain's new interior is assembled from the
+        pre-shift interiors of the blocks further along the axis (and
+        zeros past the leading edge), processed in ascending axis order
+        so sources are still unmodified when read — bitwise identical to
+        the global ``np.roll`` + zero-fill.
+        """
+        axis = self.config.moving_window.axis
+        decomp = self.decomposition
+        n = decomp.grid_config.n_cell[axis]
+        ordered = sorted(self.subdomains, key=lambda s: s.cell_lo[axis])
+        for sub in ordered:
+            dims = sub.interior_shape
+            a_lo, a_hi = sub.cell_lo[axis], sub.cell_hi[axis]
+            src_lo, src_hi = a_lo + shift, a_hi + shift
+            valid_hi = min(src_hi, n)
+            for name in _ALL_FIELDS:
+                view = sub.interior_view(getattr(sub.slab, name))
+                fresh = scratch_arrays.acquire(dims)
+                copied = 0
+                cur = src_lo
+                while cur < valid_hi:
+                    owner_pos = decomp.owner_along_axis(axis, cur)
+                    o_lo, o_hi = decomp.axis_windows(axis)[owner_pos]
+                    take = min(o_hi, valid_hi) - cur
+                    src_index = list(sub.index)
+                    src_index[axis] = owner_pos
+                    src_sub = decomp.domain_at(tuple(src_index))
+                    src_view = src_sub.interior_view(
+                        getattr(src_sub.slab, name))
+                    dest_sl = [slice(None)] * 3
+                    dest_sl[axis] = slice(cur - shift - a_lo,
+                                          cur - shift - a_lo + take)
+                    src_sl = [slice(None)] * 3
+                    src_sl[axis] = slice(cur - o_lo, cur - o_lo + take)
+                    fresh[tuple(dest_sl)] = src_view[tuple(src_sl)]
+                    copied += take
+                    cur += take
+                if copied < dims[axis]:
+                    tail = [slice(None)] * 3
+                    tail[axis] = slice(copied, None)
+                    fresh[tuple(tail)] = 0.0
+                view[...] = fresh
+                scratch_arrays.release(fresh)
+
+    # ------------------------------------------------------------------
+    # assembly / diagnostics
+    # ------------------------------------------------------------------
+    def sync_from_frame_once(self, frame: Grid) -> None:
+        """Seed the slab interiors from the frame grid's arrays (once).
+
+        Pure copies, idempotent after the first call.  Invoked before
+        the first decomposed step and before the first energy record, so
+        an initial field imposed on ``simulation.grid`` between
+        construction and ``run()`` enters the decomposed state exactly
+        as it would the single-domain one.
+        """
+        if self._synced:
+            return
+        self._synced = True
+        arrays = frame.field_arrays()
+        for sub in self.subdomains:
+            for name in _ALL_FIELDS:
+                sub.interior_view(getattr(sub.slab, name))[...] = \
+                    arrays[name][sub.global_slices]
+
+    def assemble(self, target: Grid,
+                 names: Sequence[str] = _ALL_FIELDS) -> Grid:
+        """Copy every slab interior into the global grid arrays.
+
+        Pure copies — the assembled arrays are bitwise replicas of the
+        decomposed state.  Used for the energy diagnostic, tests and
+        output; the slabs remain the arrays of record.
+        """
+        arrays = target.field_arrays()
+        for sub in self.subdomains:
+            for name in names:
+                arrays[name][sub.global_slices] = \
+                    sub.interior_view(getattr(sub.slab, name))
+        return target
+
+    # ------------------------------------------------------------------
+    # the decomposed step
+    # ------------------------------------------------------------------
+    def step_simulation(self, simulation: "Simulation") -> None:
+        """Advance the whole system by one step (decomposed path).
+
+        Mirrors ``Simulation.step`` stage for stage, including the
+        runtime-breakdown instrumentation.
+        """
+        from repro.pic.simulation import ReferenceDeposition
+
+        frame = simulation.grid
+        breakdown = simulation.breakdown
+        self.sync_from_frame_once(frame)
+
+        with breakdown.timeit("field_gather_push"):
+            self.halo.exchange(EM_FIELDS, mode="boundary")
+            for container in simulation.containers:
+                self.push(simulation, container)
+
+        with breakdown.timeit("boundary_redistribute"):
+            for container in simulation.containers:
+                container.apply_boundary_conditions(
+                    frame, executor=simulation.executor)
+                container.redistribute(frame, executor=simulation.executor,
+                                       move_recorder=self.migration.recorder)
+            simulation.moving_window.advance(
+                frame, simulation.containers, simulation.dt,
+                simulation.step_index)
+
+        with breakdown.timeit("current_deposition"):
+            self.zero_currents()
+            if isinstance(simulation.deposition, ReferenceDeposition):
+                for container in simulation.containers:
+                    self.deposit_reference(simulation, container)
+            else:
+                # instrumented strategies run on the global frame exactly
+                # as in the single-domain path; the result is copied into
+                # the slabs (bitwise-neutral)
+                frame.zero_currents()
+                for container in simulation.containers:
+                    counters = simulation.deposition.run_step(
+                        frame, container, simulation.config.shape_order,
+                        simulation.step_index, executor=simulation.executor,
+                    )
+                    if counters is not None:
+                        simulation.deposition_counters.merge(counters)
+                self.pull_currents_from_frame(frame)
+
+        with breakdown.timeit("field_solve"):
+            if simulation.laser is not None:
+                self.inject_laser(simulation)
+            if self.solvers:
+                self.solve(simulation)
+                self.apply_boundaries(simulation)
+
+        breakdown.finish_step()
+        simulation.step_index += 1

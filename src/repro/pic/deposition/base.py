@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.config import SHAPE_ORDER_CIC, SHAPE_ORDER_QSP, SHAPE_ORDER_TSC
 from repro.hardware.counters import KernelCounters
-from repro.pic.grid import Grid, scratch_grids
+from repro.pic.grid import (
+    Grid,
+    apply_grid_geometry,
+    grid_geometry,
+    scratch_grids,
+)
 from repro.pic.particles import ParticleContainer, ParticleTile
 from repro.pic.pusher import velocities
 from repro.pic.shapes import shape_factors, shape_support
@@ -228,8 +233,8 @@ def scatter_tile_currents(grid: Grid, data: TileDepositionData) -> None:
 
 
 def deposit_kernel_shard(kernel: "DepositionKernel", grid_config,
-                         payloads: Tuple, charge: float, order: int,
-                         scratch: Optional[Grid] = None
+                         geometry: Tuple, payloads: Tuple, charge: float,
+                         order: int, scratch: Optional[Grid] = None
                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
                                     KernelCounters]:
     """Executor task: deposit one shard of tiles into private scratch.
@@ -252,6 +257,7 @@ def deposit_kernel_shard(kernel: "DepositionKernel", grid_config,
 
     if scratch is None:
         scratch = Grid(grid_config)
+    apply_grid_geometry(scratch, geometry)
     counters = KernelCounters()
     for payload in payloads:
         tile = tile_from_payload(payload)
@@ -304,9 +310,11 @@ class DepositionKernel(abc.ABC):
         shards = executor.partition(container.nonempty_tiles())
         scratches = ([scratch_grids.acquire(grid.config) for _ in shards]
                      if executor.shares_memory else [None] * len(shards))
+        geometry = grid_geometry(grid)
         tasks = [
             TileTask(deposit_kernel_shard,
-                     (self, grid.config, tuple(tile_payload(t) for t in shard),
+                     (self, grid.config, geometry,
+                      tuple(tile_payload(t) for t in shard),
                       container.charge, order, scratch))
             for shard, scratch in zip(shards, scratches)
         ]

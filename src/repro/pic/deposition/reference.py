@@ -22,7 +22,12 @@ from typing import TYPE_CHECKING, List, Tuple
 import numpy as np
 
 from repro.pic.deposition.base import prepare_tile_data, scatter_tile_currents
-from repro.pic.grid import Grid, scratch_grids
+from repro.pic.grid import (
+    Grid,
+    apply_grid_geometry,
+    grid_geometry,
+    scratch_grids,
+)
 from repro.pic.particles import (
     ParticleContainer,
     tile_from_payload,
@@ -34,16 +39,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec import TileExecutor
 
 
-def _reference_shard_currents(grid_config, payloads: Tuple, charge: float,
-                              order: int, scratch: "Grid | None" = None
+def _reference_shard_currents(grid_config, geometry: Tuple, payloads: Tuple,
+                              charge: float, order: int,
+                              scratch: "Grid | None" = None
                               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Executor task: scatter one shard's current into a scratch grid.
 
     Shared-memory callers lease ``scratch`` from the pool and release it
     after the merge; process workers build a fresh grid (``None``).
+    ``geometry`` carries the caller grid's *live* ``(lo, hi)`` corners:
+    the moving window advances them past the static ``GridConfig``
+    values, and staging positions against a stale origin would normalise
+    the particles into the wrong cells.
     """
     if scratch is None:
         scratch = Grid(grid_config)
+    apply_grid_geometry(scratch, geometry)
     for payload in payloads:
         tile = tile_from_payload(payload)
         data = prepare_tile_data(scratch, tile, charge, order)
@@ -51,12 +62,14 @@ def _reference_shard_currents(grid_config, payloads: Tuple, charge: float,
     return scratch.jx, scratch.jy, scratch.jz
 
 
-def _reference_shard_rho(grid_config, payloads: Tuple, charge: float,
-                         order: int, scratch: "Grid | None" = None
+def _reference_shard_rho(grid_config, geometry: Tuple, payloads: Tuple,
+                         charge: float, order: int,
+                         scratch: "Grid | None" = None
                          ) -> np.ndarray:
     """Executor task: scatter one shard's charge density into scratch."""
     if scratch is None:
         scratch = Grid(grid_config)
+    apply_grid_geometry(scratch, geometry)
     _rho_tiles(scratch, [tile_from_payload(p) for p in payloads], charge, order)
     return scratch.rho
 
@@ -89,9 +102,11 @@ def deposit_reference(grid: Grid, container: ParticleContainer, order: int,
     shards = executor.partition(occupied)
     scratches = ([scratch_grids.acquire(grid.config) for _ in shards]
                  if executor.shares_memory else [None] * len(shards))
+    geometry = grid_geometry(grid)
     tasks = [
         TileTask(_reference_shard_currents,
-                 (grid.config, tuple(tile_payload(t) for t in shard),
+                 (grid.config, geometry,
+                  tuple(tile_payload(t) for t in shard),
                   container.charge, order, scratch))
         for shard, scratch in zip(shards, scratches)
     ]
@@ -119,9 +134,11 @@ def deposit_rho_reference(grid: Grid, container: ParticleContainer, order: int,
     shards = executor.partition(occupied)
     scratches = ([scratch_grids.acquire(grid.config) for _ in shards]
                  if executor.shares_memory else [None] * len(shards))
+    geometry = grid_geometry(grid)
     tasks = [
         TileTask(_reference_shard_rho,
-                 (grid.config, tuple(tile_payload(t) for t in shard),
+                 (grid.config, geometry,
+                  tuple(tile_payload(t) for t in shard),
                   container.charge, order, scratch))
         for shard, scratch in zip(shards, scratches)
     ]

@@ -158,6 +158,27 @@ class Grid:
             arr[...] = other.field_arrays()[name]
 
 
+def grid_geometry(grid: "Grid") -> Tuple[np.ndarray, np.ndarray]:
+    """Picklable snapshot of a grid's *live* physical corners.
+
+    ``GridConfig`` is frozen, but the moving window advances ``grid.lo``
+    and ``grid.hi`` past the configured values.  Executor shard tasks
+    that rebuild (or lease) a geometry grid from the config must restore
+    the live corners with :func:`apply_grid_geometry`, otherwise they
+    would normalise particle positions against a stale origin.
+    """
+    return grid.lo.copy(), grid.hi.copy()
+
+
+def apply_grid_geometry(grid: "Grid",
+                        geometry: Tuple[np.ndarray, np.ndarray]) -> "Grid":
+    """Impose a :func:`grid_geometry` snapshot onto a (scratch) grid."""
+    lo, hi = geometry
+    grid.lo[...] = lo
+    grid.hi[...] = hi
+    return grid
+
+
 class ScratchGridPool:
     """Reusable scratch :class:`Grid` instances, keyed by geometry.
 
@@ -188,8 +209,14 @@ class ScratchGridPool:
         self._num_free = 0
         self._lock = threading.Lock()
 
-    def acquire(self, config: GridConfig) -> Grid:
-        """A scratch grid for ``config`` with zeroed current/charge."""
+    def acquire(self, config: GridConfig, zero: bool = True) -> Grid:
+        """A scratch grid for ``config`` with zeroed current/charge.
+
+        Pass ``zero=False`` when the grid is leased as a *geometry
+        carrier* only (normalised positions, cell size, wrap/clamp
+        convention) and its dense arrays are never read — skipping four
+        full-grid memsets per lease.
+        """
         with self._lock:
             stack = self._free.get(config)
             grid = stack.pop() if stack else None
@@ -197,8 +224,9 @@ class ScratchGridPool:
                 self._num_free -= 1
         if grid is None:
             return Grid(config)
-        grid.zero_currents()
-        grid.zero_charge()
+        if zero:
+            grid.zero_currents()
+            grid.zero_charge()
         return grid
 
     def release(self, grid: Grid) -> None:
@@ -216,5 +244,66 @@ class ScratchGridPool:
             self._num_free = 0
 
 
+class ScratchArrayPool:
+    """Reusable dense float64 scratch arrays, keyed by shape.
+
+    The FDTD solver needs roughly ten grid-shaped temporaries per field
+    update (one per spatial derivative plus working buffers for the CKC
+    transverse smoothing), and the domain-decomposed deposition needs
+    window-shaped accumulators per shard.  Allocating them fresh every
+    step is pure overhead, so callers lease arrays here: :meth:`acquire`
+    hands out an array of the requested shape (optionally zeroed) and
+    :meth:`release` returns it to the free list.
+
+    Thread-safe and per-process, like :class:`ScratchGridPool`; the free
+    list is capped across all shapes so long-lived processes sweeping
+    many geometries cannot retain arrays without bound.
+    """
+
+    def __init__(self, max_free: int = 64) -> None:
+        self.max_free = max_free
+        self._free: Dict[Tuple, List[np.ndarray]] = {}
+        self._num_free = 0
+        self._lock = threading.Lock()
+
+    def acquire(self, shape: Tuple[int, ...], zero: bool = False
+                ) -> np.ndarray:
+        """A float64 scratch array of ``shape`` (zero-filled when ``zero``)."""
+        key = (tuple(int(s) for s in shape), np.dtype(np.float64))
+        with self._lock:
+            stack = self._free.get(key)
+            arr = stack.pop() if stack else None
+            if arr is not None:
+                self._num_free -= 1
+        if arr is None:
+            return np.zeros(key[0]) if zero else np.empty(key[0])
+        if zero:
+            arr.fill(0.0)
+        return arr
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return a leased array to the free list (dropped when full).
+
+        The free list is keyed by ``(shape, dtype)`` so a stray
+        non-float64 release can never be handed back to a caller
+        expecting the float64 arrays :meth:`acquire` produces.
+        """
+        with self._lock:
+            if self._num_free >= self.max_free:
+                return
+            self._free.setdefault((arr.shape, arr.dtype), []).append(arr)
+            self._num_free += 1
+
+    def clear(self) -> None:
+        """Drop all pooled arrays (tests / memory pressure)."""
+        with self._lock:
+            self._free.clear()
+            self._num_free = 0
+
+
 #: process-wide scratch pool shared by every executor shard task
 scratch_grids = ScratchGridPool()
+
+#: process-wide scratch array pool (field solver temporaries, deposition
+#: window accumulators)
+scratch_arrays = ScratchArrayPool()

@@ -10,8 +10,19 @@ the CKC solver with ``warpx.cfl = 1.0``):
 
 All field arrays share the grid's ``(nx, ny, nz)`` shape; Yee staggering is
 implicit (``ex[i, j, k]`` lives at ``(i + 1/2, j, k)`` and so on) and the
-finite differences are evaluated with periodic rolls.  Non-periodic axes
+finite differences are evaluated with periodic wrap.  Non-periodic axes
 are handled afterwards by :mod:`repro.pic.boundary`.
+
+Memory discipline: the historical implementation allocated a fresh
+full-grid temporary for every ``np.roll`` and every intermediate of the
+CKC smoothing — dozens of dense arrays per step.  All temporaries are now
+leased from the process-wide :data:`repro.pic.grid.scratch_arrays` pool
+and every update is expressed through explicit out-parameter ufunc calls
+whose per-element operation sequence is **identical** to the historical
+expressions, so the refactor is bitwise-neutral.  The domain-decomposed
+step (:mod:`repro.domain`) runs this same solver on halo-padded local
+slabs, which is what makes the decomposed field solve bitwise identical
+to the global one.
 """
 
 from __future__ import annotations
@@ -19,14 +30,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro import constants
-from repro.pic.grid import Grid
+from repro.pic.grid import Grid, scratch_arrays
+
+
+def _roll_into(src: np.ndarray, shift: int, axis: int, out: np.ndarray
+               ) -> np.ndarray:
+    """``np.roll(src, shift, axis)`` materialised into ``out`` (two copies)."""
+    n = src.shape[axis]
+    s = shift % n
+    if s == 0:
+        out[...] = src
+        return out
+    head = [slice(None)] * src.ndim
+    tail = [slice(None)] * src.ndim
+    head[axis] = slice(0, s)
+    tail[axis] = slice(s, None)
+    src_tail = [slice(None)] * src.ndim
+    src_head = [slice(None)] * src.ndim
+    src_tail[axis] = slice(n - s, None)
+    src_head[axis] = slice(0, n - s)
+    out[tuple(head)] = src[tuple(src_tail)]
+    out[tuple(tail)] = src[tuple(src_head)]
+    return out
 
 
 def _diff(field: np.ndarray, axis: int, delta: float, forward: bool) -> np.ndarray:
-    """One-sided finite difference along ``axis`` with periodic wrap."""
+    """One-sided finite difference along ``axis`` with periodic wrap.
+
+    Returns a *leased* scratch array; the caller owns the lease.
+    """
+    out = scratch_arrays.acquire(field.shape)
     if forward:
-        return (np.roll(field, -1, axis=axis) - field) / delta
-    return (field - np.roll(field, 1, axis=axis)) / delta
+        _roll_into(field, -1, axis, out)
+        np.subtract(out, field, out=out)
+    else:
+        _roll_into(field, 1, axis, out)
+        np.subtract(field, out, out=out)
+    np.divide(out, delta, out=out)
+    return out
 
 
 def _transverse_smooth(field: np.ndarray, axis: int,
@@ -38,17 +79,31 @@ def _transverse_smooth(field: np.ndarray, axis: int,
     neighbours) and ``gamma`` (the four corner neighbours).  With the Cowan
     coefficients the weights sum to one, so the scheme reduces to Yee when
     ``beta = gamma = 0``.
+
+    Returns a *leased* scratch array; ``field`` is left untouched.
     """
     axes = [a for a in range(3) if a != axis]
-    result = alpha * field
-    for t in axes:
-        result = result + beta * (np.roll(field, 1, axis=t)
-                                  + np.roll(field, -1, axis=t))
-    a, b = axes
-    for sa in (1, -1):
-        rolled_a = np.roll(field, sa, axis=a)
-        for sb in (1, -1):
-            result = result + gamma * np.roll(rolled_a, sb, axis=b)
+    result = scratch_arrays.acquire(field.shape)
+    tmp_a = scratch_arrays.acquire(field.shape)
+    tmp_b = scratch_arrays.acquire(field.shape)
+    try:
+        np.multiply(field, alpha, out=result)
+        for t in axes:
+            _roll_into(field, 1, t, tmp_a)
+            _roll_into(field, -1, t, tmp_b)
+            np.add(tmp_a, tmp_b, out=tmp_a)
+            np.multiply(tmp_a, beta, out=tmp_a)
+            np.add(result, tmp_a, out=result)
+        a, b = axes
+        for sa in (1, -1):
+            _roll_into(field, sa, a, tmp_a)
+            for sb in (1, -1):
+                _roll_into(tmp_a, sb, b, tmp_b)
+                np.multiply(tmp_b, gamma, out=tmp_b)
+                np.add(result, tmp_b, out=result)
+    finally:
+        scratch_arrays.release(tmp_a)
+        scratch_arrays.release(tmp_b)
     return result
 
 
@@ -68,7 +123,10 @@ class FDTDSolver:
 
     # ------------------------------------------------------------------
     def _curl_e(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Curl of E evaluated at the B locations (forward differences)."""
+        """Curl of E evaluated at the B locations (forward differences).
+
+        Returns three leased scratch arrays (the caller releases them).
+        """
         g = self.grid
         dx, dy, dz = g.cell_size
         dez_dy = self._d(g.ez, 1, dy, forward=True)
@@ -77,10 +135,18 @@ class FDTDSolver:
         dez_dx = self._d(g.ez, 0, dx, forward=True)
         dey_dx = self._d(g.ey, 0, dx, forward=True)
         dex_dy = self._d(g.ex, 1, dy, forward=True)
-        return dez_dy - dey_dz, dex_dz - dez_dx, dey_dx - dex_dy
+        np.subtract(dez_dy, dey_dz, out=dez_dy)
+        np.subtract(dex_dz, dez_dx, out=dex_dz)
+        np.subtract(dey_dx, dex_dy, out=dey_dx)
+        for leased in (dey_dz, dez_dx, dex_dy):
+            scratch_arrays.release(leased)
+        return dez_dy, dex_dz, dey_dx
 
     def _curl_b(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Curl of B evaluated at the E locations (backward differences)."""
+        """Curl of B evaluated at the E locations (backward differences).
+
+        Returns three leased scratch arrays (the caller releases them).
+        """
         g = self.grid
         dx, dy, dz = g.cell_size
         dbz_dy = self._d(g.bz, 1, dy, forward=False)
@@ -89,13 +155,21 @@ class FDTDSolver:
         dbz_dx = self._d(g.bz, 0, dx, forward=False)
         dby_dx = self._d(g.by, 0, dx, forward=False)
         dbx_dy = self._d(g.bx, 1, dy, forward=False)
-        return dbz_dy - dby_dz, dbx_dz - dbz_dx, dby_dx - dbx_dy
+        np.subtract(dbz_dy, dby_dz, out=dbz_dy)
+        np.subtract(dbx_dz, dbz_dx, out=dbx_dz)
+        np.subtract(dby_dx, dbx_dy, out=dby_dx)
+        for leased in (dby_dz, dbz_dx, dbx_dy):
+            scratch_arrays.release(leased)
+        return dbz_dy, dbx_dz, dby_dx
 
     def _d(self, field: np.ndarray, axis: int, delta: float, forward: bool
            ) -> np.ndarray:
         diff = _diff(field, axis, delta, forward)
         if self.scheme == "ckc":
-            return _transverse_smooth(diff, axis, self.alpha, self.beta, self.gamma)
+            smoothed = _transverse_smooth(diff, axis, self.alpha, self.beta,
+                                          self.gamma)
+            scratch_arrays.release(diff)
+            return smoothed
         return diff
 
     # ------------------------------------------------------------------
@@ -103,9 +177,10 @@ class FDTDSolver:
         """Advance B by ``dt`` using Faraday's law (dB/dt = -curl E)."""
         cx, cy, cz = self._curl_e()
         g = self.grid
-        g.bx -= dt * cx
-        g.by -= dt * cy
-        g.bz -= dt * cz
+        for curl, target in ((cx, g.bx), (cy, g.by), (cz, g.bz)):
+            np.multiply(curl, dt, out=curl)
+            np.subtract(target, curl, out=target)
+            scratch_arrays.release(curl)
 
     def push_e(self, dt: float) -> None:
         """Advance E by ``dt`` using Ampere's law with the deposited current."""
@@ -113,9 +188,18 @@ class FDTDSolver:
         g = self.grid
         c2 = constants.C_LIGHT**2
         inv_eps0 = 1.0 / constants.EPSILON_0
-        g.ex += dt * (c2 * cx - inv_eps0 * g.jx)
-        g.ey += dt * (c2 * cy - inv_eps0 * g.jy)
-        g.ez += dt * (c2 * cz - inv_eps0 * g.jz)
+        tmp = scratch_arrays.acquire(g.ex.shape)
+        try:
+            for curl, current, target in ((cx, g.jx, g.ex), (cy, g.jy, g.ey),
+                                          (cz, g.jz, g.ez)):
+                np.multiply(curl, c2, out=curl)
+                np.multiply(current, inv_eps0, out=tmp)
+                np.subtract(curl, tmp, out=curl)
+                np.multiply(curl, dt, out=curl)
+                np.add(target, curl, out=target)
+                scratch_arrays.release(curl)
+        finally:
+            scratch_arrays.release(tmp)
 
     def step(self, dt: float) -> None:
         """One full leap-frog field update (B half, E full, B half)."""

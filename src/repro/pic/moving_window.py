@@ -32,6 +32,12 @@ class MovingWindow:
         #: callback invoked as ``injector(grid, container, z_lo, z_hi)`` to
         #: fill the newly exposed slab with plasma
         self.injector = injector
+        #: optional replacement for the field shift, invoked as
+        #: ``field_shifter(grid, shift)``.  The domain-decomposed step
+        #: installs a shifter that moves the per-subdomain field slabs
+        #: instead of the (then stale) global arrays; grid origin
+        #: advance, particle trimming and plasma injection stay here.
+        self.field_shifter: Optional[Callable[[Grid, int], None]] = None
         self._accumulated = 0.0
         self.total_shift_cells = 0
 
@@ -50,7 +56,10 @@ class MovingWindow:
         self._accumulated -= shift * dx
         self.total_shift_cells += shift
 
-        self._shift_fields(grid, shift)
+        if self.field_shifter is not None:
+            self.field_shifter(grid, shift)
+        else:
+            self._shift_fields(grid, shift)
         old_hi = grid.hi[axis]
         grid.lo[axis] += shift * dx
         grid.hi[axis] += shift * dx

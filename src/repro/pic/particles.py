@@ -347,7 +347,8 @@ class ParticleContainer:
         return sum(executor.run(tasks))
 
     def redistribute(self, grid: Grid,
-                     executor: "TileExecutor | None" = None) -> int:
+                     executor: "TileExecutor | None" = None,
+                     move_recorder=None) -> int:
         """Move particles that left their tile into the owning tile.
 
         Returns the number of particles moved between tiles.  Boundary
@@ -359,6 +360,13 @@ class ParticleContainer:
         that mutates more than one tile — always run serially in ascending
         source-tile order, so the destination tiles' storage order is
         identical for every backend.
+
+        ``move_recorder`` is an optional callback invoked (during the
+        serial apply phase, in ascending source-tile order) as
+        ``move_recorder(source_tile_id, owner_tile_ids)`` with the
+        destination tile of every leaving particle — the hook the domain
+        decomposition uses to account for particles migrating between
+        subdomains without a second scan.
         """
         entries = [(tile_id, tile) for tile_id, tile in enumerate(self.tiles)
                    if tile.num_particles > 0]
@@ -375,6 +383,8 @@ class ParticleContainer:
         moved_total = 0
         pending: Dict[int, List[Dict[str, np.ndarray]]] = {}
         for tile_id, leaving, owners in scans:
+            if move_recorder is not None:
+                move_recorder(tile_id, owners)
             removed = self.tiles[tile_id].remove(leaving)
             for dest in np.unique(owners):
                 sel = owners == dest

@@ -99,7 +99,8 @@ def _push_shard_inplace(grid: Grid, tiles: List[ParticleTile], charge: float,
         push_tile(tile, fields, charge, mass, dt)
 
 
-def _push_shard_remote(grid_config, field_arrays: Tuple[np.ndarray, ...],
+def _push_shard_remote(grid_config, geometry: Tuple,
+                       field_arrays: Tuple[np.ndarray, ...],
                        payloads: Tuple, charge: float, mass: float, dt: float,
                        order: int) -> List[Tuple[np.ndarray, ...]]:
     """Executor task for the process backend: functional gather + push.
@@ -121,10 +122,13 @@ def _push_shard_remote(grid_config, field_arrays: Tuple[np.ndarray, ...],
     avoids re-allocating ten dense arrays per shard per step.
     """
     from repro.pic.gather import gather_fields_for_tile
-    from repro.pic.grid import scratch_grids
+    from repro.pic.grid import apply_grid_geometry, scratch_grids
     from repro.pic.particles import tile_from_payload
 
-    grid = scratch_grids.acquire(grid_config)
+    # geometry-only lease: the gather reads the caller's shipped field
+    # arrays, never the pooled grid's own, so skip the accumulator zeroing
+    grid = scratch_grids.acquire(grid_config, zero=False)
+    apply_grid_geometry(grid, geometry)
     own_fields = (grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz)
     try:
         grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz = field_arrays
@@ -176,10 +180,13 @@ class BorisPusher:
             executor.run(tasks)
             return
 
+        from repro.pic.grid import grid_geometry
+
         fields = (grid.ex, grid.ey, grid.ez, grid.bx, grid.by, grid.bz)
+        geometry = grid_geometry(grid)
         tasks = [
             TileTask(_push_shard_remote,
-                     (grid.config, fields,
+                     (grid.config, geometry, fields,
                       tuple(tile_payload(t) for t in shard),
                       container.charge, container.mass, dt, self.shape_order))
             for shard in shards

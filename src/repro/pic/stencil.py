@@ -215,7 +215,7 @@ class StencilOperator:
     """
 
     __slots__ = ("flat_ids", "weights", "shape", "periodic", "box_lo",
-                 "box_dims", "num_particles")
+                 "box_dims", "num_particles", "_segments_cache")
 
     def __init__(self, flat_ids: np.ndarray,
                  weights: Optional[np.ndarray],
@@ -230,6 +230,7 @@ class StencilOperator:
         self.box_lo = box_lo
         self.box_dims = box_dims
         self.num_particles = flat_ids.shape[0]
+        self._segments_cache = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -303,11 +304,13 @@ class StencilOperator:
     # box <-> grid transfer
     # ------------------------------------------------------------------
     def _segments(self) -> Tuple[List, List, List]:
-        return tuple(
-            _axis_segments(self.box_lo[a], self.box_dims[a], self.shape[a],
-                           self.periodic[a])
-            for a in range(3)
-        )
+        if self._segments_cache is None:
+            self._segments_cache = tuple(
+                _axis_segments(self.box_lo[a], self.box_dims[a],
+                               self.shape[a], self.periodic[a])
+                for a in range(3)
+            )
+        return self._segments_cache
 
     def _apply_box(self, box: np.ndarray, out: np.ndarray) -> None:
         """Add the box accumulator onto the grid (wrap/clamp per axis)."""
@@ -315,6 +318,88 @@ class StencilOperator:
         for bx, gx, cx in seg_x:
             for by, gy, cy in seg_y:
                 for bz, gz, cz in seg_z:
+                    piece = box[bx, by, bz]
+                    if cx:
+                        piece = piece.sum(axis=0, keepdims=True)
+                    if cy:
+                        piece = piece.sum(axis=1, keepdims=True)
+                    if cz:
+                        piece = piece.sum(axis=2, keepdims=True)
+                    out[gx, gy, gz] += piece
+
+    def box_accumulate(self, values: np.ndarray) -> np.ndarray:
+        """The dense bounding-box accumulation of per-stencil-point values.
+
+        This is the first half of :meth:`scatter_values` on the fast path:
+        one ``np.bincount`` pass over the flattened stencil, *before* the
+        box is folded onto any grid.  The domain-decomposed deposition
+        uses it to compute each tile's contribution once and then apply
+        it to every subdomain window it overlaps
+        (:meth:`add_box_to_window`) — the ghost/seam reduction.
+
+        Requires the bounding-box fast path (``box_dims`` set); per-step
+        callers always satisfy this because redistributed particles sit
+        within one stencil width of the domain.
+        """
+        if self.box_dims is None:
+            raise ValueError(
+                "box_accumulate requires the bounding-box fast path "
+                "(bases within one stencil width of the domain)"
+            )
+        return np.bincount(
+            self.flat_ids.ravel(), weights=values.ravel(),
+            minlength=int(np.prod(self.box_dims)),
+        ).reshape(self.box_dims)
+
+    def scatter_box(self, amplitude: Optional[np.ndarray]) -> np.ndarray:
+        """Bounding-box accumulation of ``amplitude[p] * weights[p, m]``."""
+        if amplitude is None:
+            return self.box_accumulate(self.weights)
+        return self.box_accumulate(
+            np.asarray(amplitude)[:, None] * self.weights)
+
+    def add_box_to_window(self, box: np.ndarray,
+                          window_lo: Tuple[int, int, int],
+                          out: np.ndarray) -> None:
+        """Add a :meth:`box_accumulate` result onto a sub-window of the grid.
+
+        ``out`` is a dense array covering the global cell window starting
+        at ``window_lo`` (shape = window dims); the window must not wrap.
+        The box is decomposed into exactly the same wrapped/clamped
+        segments — in the same nested order — as :meth:`_apply_box`, and
+        every segment is intersected with the window.  Because each
+        global node lives in exactly one window of a disjoint
+        decomposition, the per-node accumulation order is identical to
+        the single-array path, which makes the decomposed deposition
+        bitwise identical to the global one.
+        """
+        w_lo = tuple(int(v) for v in window_lo)
+        w_hi = tuple(w_lo[a] + out.shape[a] for a in range(3))
+        seg_x, seg_y, seg_z = self._segments()
+        clipped = []
+        for axis, segments in enumerate((seg_x, seg_y, seg_z)):
+            axis_out = []
+            for b, g, collapse in segments:
+                start = max(g.start, w_lo[axis])
+                stop = min(g.stop, w_hi[axis])
+                if stop <= start:
+                    continue
+                if collapse:
+                    # overhang collapses onto a single boundary plane; the
+                    # box range stays whole (it is summed along the axis)
+                    b_adj = b
+                else:
+                    offset = start - g.start
+                    b_adj = slice(b.start + offset,
+                                  b.start + offset + (stop - start))
+                dest = slice(start - w_lo[axis], stop - w_lo[axis])
+                axis_out.append((b_adj, dest, collapse))
+            if not axis_out:
+                return  # the box misses the window entirely on this axis
+            clipped.append(axis_out)
+        for bx, gx, cx in clipped[0]:
+            for by, gy, cy in clipped[1]:
+                for bz, gz, cz in clipped[2]:
                     piece = box[bx, by, bz]
                     if cx:
                         piece = piece.sum(axis=0, keepdims=True)
@@ -344,11 +429,7 @@ class StencilOperator:
         if self.box_dims is None:
             scatter_flat(self.flat_ids, values, out)
             return
-        box = np.bincount(
-            self.flat_ids.ravel(), weights=values.ravel(),
-            minlength=int(np.prod(self.box_dims)),
-        ).reshape(self.box_dims)
-        self._apply_box(box, out)
+        self._apply_box(self.box_accumulate(values), out)
 
     def scatter(self, amplitude: Optional[np.ndarray], out: np.ndarray
                 ) -> None:

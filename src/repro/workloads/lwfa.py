@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import constants
 from repro.config import (
+    DomainConfig,
     ExecutionConfig,
     GridConfig,
     LaserConfig,
@@ -50,6 +51,8 @@ class LWFAWorkload:
     sorting: SortingPolicyConfig = field(default_factory=SortingPolicyConfig)
     #: tile execution engine used by the step loop (:mod:`repro.exec`)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: (px, py, pz) domain decomposition of the grid (:mod:`repro.domain`)
+    domains: Tuple[int, int, int] = (1, 1, 1)
     seed: int = 2026
 
     # ------------------------------------------------------------------
@@ -111,6 +114,7 @@ class LWFAWorkload:
             laser=laser,
             moving_window=window,
             execution=self.execution,
+            domain=DomainConfig(domains=self.domains),
             seed=self.seed,
         )
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import constants
 from repro.config import (
+    DomainConfig,
     ExecutionConfig,
     GridConfig,
     SimulationConfig,
@@ -50,6 +51,8 @@ class UniformPlasmaWorkload:
     sorting: SortingPolicyConfig = field(default_factory=SortingPolicyConfig)
     #: tile execution engine used by the step loop (:mod:`repro.exec`)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: (px, py, pz) domain decomposition of the grid (:mod:`repro.domain`)
+    domains: Tuple[int, int, int] = (1, 1, 1)
     seed: int = 2026
 
     def ppc_triple(self) -> Tuple[int, int, int]:
@@ -95,6 +98,7 @@ class UniformPlasmaWorkload:
             field_solver=self.field_solver,
             sorting=self.sorting,
             execution=self.execution,
+            domain=DomainConfig(domains=self.domains),
             seed=self.seed,
         )
 

@@ -1,0 +1,467 @@
+"""Domain decomposition (:mod:`repro.domain`): geometry, halo exchange,
+seam reduction, migration, and the bitwise parity contract.
+
+The contract under test: for any ``(px, py, pz)`` split, any executor
+backend and a fixed shard count, a decomposed run is **bitwise
+identical** to the single-domain run — every field component, J/rho and
+the energy history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_plasma
+from repro.config import (
+    DomainConfig,
+    ExecutionConfig,
+    GridConfig,
+    SimulationConfig,
+    SpeciesConfig,
+)
+from repro.domain.decomposition import Decomposition
+from repro.domain.halo import EM_FIELDS, HaloExchange
+from repro.pic.deposition.reference import (
+    deposit_reference,
+    deposit_rho_reference,
+)
+from repro.pic.grid import Grid
+from repro.pic.maxwell import FDTDSolver
+from repro.pic.simulation import Simulation
+from repro.workloads.lwfa import LWFAWorkload
+from repro.workloads.uniform import UniformPlasmaWorkload
+
+ALL_COMPONENTS = ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz", "rho")
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def run_uniform(domains, *, backend="serial", shards=1, steps=3, order=1,
+                n_cell=(8, 8, 8), tile=(4, 4, 4), ppc=8, thermal=None):
+    """Run the uniform workload; returns the simulation (fields assembled)."""
+    kwargs = {} if thermal is None else {"thermal_velocity": thermal}
+    workload = UniformPlasmaWorkload(
+        n_cell=n_cell, tile_size=tile, ppc=ppc, shape_order=order,
+        max_steps=steps, domains=domains,
+        execution=ExecutionConfig(backend=backend, num_shards=shards),
+        **kwargs,
+    )
+    simulation = workload.build_simulation()
+    try:
+        simulation.run(steps=steps, record_energy=True)
+        for container in simulation.containers:
+            if simulation.domain is not None:
+                simulation.domain.deposit_rho(simulation, container)
+            else:
+                deposit_rho_reference(simulation.grid, container,
+                                      order, executor=simulation.executor)
+        if simulation.domain is not None:
+            simulation.domain.assemble(simulation.grid)
+        return simulation
+    finally:
+        simulation.shutdown()
+
+
+def run_lwfa(domains, *, backend="serial", shards=1, steps=12):
+    """Run the LWFA workload (laser + absorbing walls + moving window)."""
+    workload = LWFAWorkload(
+        n_cell=(8, 8, 32), tile_size=(4, 4, 8), ppc=1, max_steps=steps,
+        domains=domains,
+        execution=ExecutionConfig(backend=backend, num_shards=shards),
+    )
+    simulation = workload.build_simulation()
+    try:
+        simulation.run(steps=steps, record_energy=True)
+        if simulation.domain is not None:
+            simulation.domain.assemble(simulation.grid)
+        return simulation
+    finally:
+        simulation.shutdown()
+
+
+def assert_bitwise_equal(sim_a: Simulation, sim_b: Simulation,
+                         components=ALL_COMPONENTS) -> None:
+    """Fields, currents and energy history must match bit for bit."""
+    for name in components:
+        a = getattr(sim_a.grid, name)
+        b = getattr(sim_b.grid, name)
+        assert np.array_equal(a, b), (
+            f"{name} differs (max abs diff "
+            f"{float(np.max(np.abs(a - b)))!r})"
+        )
+    history_a = [(r.step, r.field_energy, r.kinetic_energy)
+                 for r in sim_a.energy.history]
+    history_b = [(r.step, r.field_energy, r.kinetic_energy)
+                 for r in sim_b.energy.history]
+    assert history_a == history_b
+
+
+# ----------------------------------------------------------------------
+# decomposition geometry
+# ----------------------------------------------------------------------
+
+class TestDecomposition:
+    def test_tile_aligned_partition(self):
+        config = GridConfig(n_cell=(8, 8, 8), tile_size=(4, 4, 4))
+        decomp = Decomposition(config, (2, 1, 2), halo=1)
+        assert decomp.num_domains == 4
+        # every tile owned exactly once, interiors tile the grid
+        owners = decomp.tile_owner
+        assert owners.shape[0] == 8
+        covered = np.zeros(config.n_cell, dtype=int)
+        for sub in decomp.subdomains:
+            covered[sub.global_slices] += 1
+            assert sub.slab_shape == tuple(
+                d + 2 for d in sub.interior_shape)
+        assert np.all(covered == 1)
+
+    def test_ragged_tiles(self):
+        # 10 cells in tiles of 4 -> tiles of 4, 4, 2 along the axis
+        config = GridConfig(n_cell=(10, 4, 4), tile_size=(4, 4, 4))
+        decomp = Decomposition(config, (3, 1, 1), halo=2)
+        windows = decomp.axis_windows(0)
+        assert windows == [(0, 4), (4, 8), (8, 10)]
+
+    def test_rejects_more_domains_than_tiles(self):
+        config = GridConfig(n_cell=(8, 8, 8), tile_size=(4, 4, 4))
+        with pytest.raises(ValueError, match="tile-aligned"):
+            Decomposition(config, (4, 1, 1), halo=1)
+
+    def test_simulation_rejects_bad_split(self):
+        grid = GridConfig(n_cell=(8, 8, 8), hi=(1e-5,) * 3,
+                          tile_size=(4, 4, 4))
+        config = SimulationConfig(
+            grid=grid, species=(SpeciesConfig(),), max_steps=1,
+            domain=DomainConfig(domains=(8, 1, 1)),
+        )
+        with pytest.raises(ValueError, match="tile-aligned"):
+            Simulation(config, load_plasma=False)
+
+    def test_halo_sizing_follows_shape_order(self):
+        assert DomainConfig().halo_for_order(1) == 1
+        assert DomainConfig().halo_for_order(3) == 3
+        assert DomainConfig(halo=5).halo_for_order(1) == 5
+
+
+# ----------------------------------------------------------------------
+# halo exchange against the global wrap/clamp oracle
+# ----------------------------------------------------------------------
+
+def _random_decomposed_fields(rng, n_cell, tile, domains, halo,
+                              field_boundary):
+    """A frame grid with random E/B plus slabs holding the interiors."""
+    config = GridConfig(n_cell=n_cell, hi=tuple(1e-5 * n for n in n_cell),
+                        tile_size=tile, field_boundary=field_boundary,
+                        particle_boundary=field_boundary)
+    frame = Grid(config)
+    for name in EM_FIELDS:
+        getattr(frame, name)[...] = rng.standard_normal(frame.shape)
+    decomp = Decomposition(config, domains, halo)
+    decomp.build_slabs(frame)
+    for sub in decomp.subdomains:
+        for name in EM_FIELDS:
+            sub.interior_view(getattr(sub.slab, name))[...] = \
+                getattr(frame, name)[sub.global_slices]
+    return frame, decomp
+
+
+@pytest.mark.parametrize("mode", ["wrap", "boundary"])
+@pytest.mark.parametrize("field_boundary", [
+    ("periodic", "periodic", "periodic"),
+    ("periodic", "periodic", "absorbing"),
+])
+def test_halo_exchange_matches_global_indexing(mode, field_boundary):
+    """Every ghost cell equals the globally wrapped/clamped value."""
+    rng = np.random.default_rng(3)
+    frame, decomp = _random_decomposed_fields(
+        rng, (8, 6, 8), (4, 3, 2), (2, 2, 4), halo=3, field_boundary=field_boundary)
+    exchange = HaloExchange(decomp, frame.periodic)
+    exchange.exchange(EM_FIELDS, mode=mode)
+    for sub in decomp.subdomains:
+        idx = []
+        for a in range(3):
+            g = sub.origin[a] + np.arange(sub.slab_shape[a])
+            n = frame.shape[a]
+            if mode == "wrap" or frame.periodic[a]:
+                idx.append(np.mod(g, n))
+            else:
+                idx.append(np.clip(g, 0, n - 1))
+        for name in EM_FIELDS:
+            expected = getattr(frame, name)[np.ix_(*idx)]
+            assert np.array_equal(getattr(sub.slab, name), expected), \
+                (name, sub.index)
+
+
+# ----------------------------------------------------------------------
+# deposition: ghost/seam reduction vs the global-array oracle
+# ----------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    split=st.tuples(st.integers(1, 2), st.integers(1, 2), st.integers(1, 4)),
+    order=st.sampled_from([1, 2, 3]),
+    seed=st.integers(0, 10_000),
+)
+def test_seam_reduction_matches_global_oracle(split, order, seed):
+    """Halo deposition + seam reduction == the global-array deposition.
+
+    Random subdomain splits — including splits thinner than the stencil
+    support (two-cell subdomains under the four-node QSP stencil) — must
+    reproduce the single-array J and rho bit for bit.
+    """
+    config = GridConfig(n_cell=(4, 4, 8), hi=(4e-6, 4e-6, 8e-6),
+                        tile_size=(2, 2, 2))
+    grid, container = make_plasma(config, ppc=(1, 1, 2), seed=seed)
+    sim_config = SimulationConfig(
+        grid=config, species=(container.species,), shape_order=order,
+        max_steps=0, domain=DomainConfig(domains=split),
+    )
+    simulation = Simulation(sim_config, load_plasma=False)
+    simulation.containers = [container]
+    try:
+        if simulation.domain is None:
+            return  # (1, 1, 1) draws exercise nothing
+        deposit_reference(grid, container, order)
+        deposit_rho_reference(grid, container, order)
+        runtime = simulation.domain
+        runtime.zero_currents()
+        runtime.zero_charge()
+        runtime.deposit_reference(simulation, container)
+        runtime.deposit_rho(simulation, container)
+        runtime.assemble(simulation.grid)
+        for name in ("jx", "jy", "jz", "rho"):
+            assert np.array_equal(getattr(simulation.grid, name),
+                                  getattr(grid, name)), name
+    finally:
+        simulation.shutdown()
+
+
+# ----------------------------------------------------------------------
+# end-to-end bitwise parity
+# ----------------------------------------------------------------------
+
+class TestStepParity:
+    def test_serial_2x1x2(self):
+        assert_bitwise_equal(run_uniform((1, 1, 1)), run_uniform((2, 1, 2)))
+
+    def test_initial_field_on_frame_grid_is_honoured(self):
+        """A field imposed on ``sim.grid`` after construction must enter
+        the decomposed state (slabs are seeded lazily, not at init)."""
+        def build(domains):
+            workload = UniformPlasmaWorkload(
+                n_cell=(8, 8, 8), tile_size=(4, 4, 4), ppc=8, max_steps=3,
+                domains=domains)
+            simulation = workload.build_simulation()
+            try:
+                rng = np.random.default_rng(11)
+                simulation.grid.ez[...] = 1e3 * rng.standard_normal(
+                    simulation.grid.shape)
+                simulation.run(steps=3, record_energy=True)
+                if simulation.domain is not None:
+                    simulation.domain.assemble(simulation.grid)
+                return simulation
+            finally:
+                simulation.shutdown()
+
+        sim_a, sim_b = build((1, 1, 1)), build((2, 1, 2))
+        assert sim_a.energy.history[0].field_energy > 0.0
+        assert_bitwise_equal(sim_a, sim_b,
+                             components=("ex", "ey", "ez", "bx", "by", "bz",
+                                         "jx", "jy", "jz"))
+
+    def test_threads_backend_fixed_shards(self):
+        assert_bitwise_equal(
+            run_uniform((1, 1, 1), backend="threads", shards=4),
+            run_uniform((2, 2, 1), backend="threads", shards=4),
+        )
+
+    def test_process_backend_fixed_shards(self):
+        assert_bitwise_equal(
+            run_uniform((1, 1, 1), backend="processes", shards=2, steps=2),
+            run_uniform((1, 2, 2), backend="processes", shards=2, steps=2),
+        )
+
+    def test_qsp_order_with_thin_subdomains(self):
+        # nz tiles of 2 cells -> 4 subdomains of 2 cells < QSP support 4
+        assert_bitwise_equal(
+            run_uniform((1, 1, 1), order=3, tile=(8, 8, 2)),
+            run_uniform((1, 1, 4), order=3, tile=(8, 8, 2)),
+        )
+
+    def test_tsc_order(self):
+        assert_bitwise_equal(
+            run_uniform((1, 1, 1), order=2),
+            run_uniform((2, 1, 2), order=2),
+        )
+
+    def test_every_backend_agrees_across_splits(self):
+        reference = run_uniform((1, 1, 1), backend="serial", shards=2,
+                                steps=2)
+        for backend in ("serial", "threads"):
+            for domains in ((2, 1, 1), (2, 2, 2)):
+                assert_bitwise_equal(
+                    reference,
+                    run_uniform(domains, backend=backend, shards=2, steps=2),
+                )
+
+
+class TestLWFAParity:
+    """Seam-crossing laser + wakefield + moving window + absorbing walls."""
+
+    def test_longitudinal_split_crosses_laser(self):
+        # the laser plane and the wake cross the z seams of a 1x1x2 split
+        assert_bitwise_equal(run_lwfa((1, 1, 1)), run_lwfa((1, 1, 2)))
+
+    def test_transverse_and_longitudinal_split_threads(self):
+        assert_bitwise_equal(
+            run_lwfa((1, 1, 1), backend="threads", shards=2),
+            run_lwfa((2, 1, 2), backend="threads", shards=2),
+        )
+
+    def test_window_advanced(self):
+        sim = run_lwfa((1, 1, 4), steps=16)
+        assert sim.moving_window.total_shift_cells > 0
+
+
+class TestPECBoundary:
+    def test_pec_walls_decomposed(self):
+        grid = GridConfig(n_cell=(8, 8, 8), hi=(8e-6,) * 3,
+                          tile_size=(4, 4, 4),
+                          field_boundary=("periodic", "periodic", "pec"),
+                          particle_boundary=("periodic", "periodic",
+                                             "absorbing"))
+        def build(domains):
+            config = SimulationConfig(
+                grid=grid, species=(SpeciesConfig(ppc=(2, 2, 2)),),
+                max_steps=4, domain=DomainConfig(domains=domains),
+            )
+            simulation = Simulation(config)
+            try:
+                simulation.run(record_energy=True)
+                if simulation.domain is not None:
+                    simulation.domain.assemble(simulation.grid)
+                return simulation
+            finally:
+                simulation.shutdown()
+
+        sim_a, sim_b = build((1, 1, 1)), build((2, 1, 2))
+        assert_bitwise_equal(sim_a, sim_b,
+                             components=("ex", "ey", "ez", "bx", "by", "bz",
+                                         "jx", "jy", "jz"))
+        # tangential E vanishes on the z walls in the decomposed run too
+        assert np.all(sim_b.grid.ex[:, :, 0] == 0.0)
+        assert np.all(sim_b.grid.ey[:, :, -1] == 0.0)
+
+
+# ----------------------------------------------------------------------
+# migration accounting
+# ----------------------------------------------------------------------
+
+class TestMigration:
+    def test_cross_subdomain_moves_counted(self):
+        from repro import constants
+
+        sim = run_uniform((2, 1, 2), steps=6,
+                          thermal=0.4 * constants.C_LIGHT)
+        stats = sim.domain.migration
+        # thermal plasma on a 4-tile-per-axis grid migrates across seams
+        assert stats.moved_particles > 0
+        assert 0 < stats.migrated_particles <= stats.moved_particles
+        assert stats.pair_counts.sum() == stats.migrated_particles
+        assert np.all(np.diag(stats.pair_counts) == 0)
+
+    def test_migration_deterministic_across_backends(self):
+        a = run_uniform((2, 1, 2), backend="serial", shards=2, steps=3)
+        b = run_uniform((2, 1, 2), backend="threads", shards=2, steps=3)
+        assert (a.domain.migration.migrated_particles
+                == b.domain.migration.migrated_particles)
+        assert np.array_equal(a.domain.migration.pair_counts,
+                              b.domain.migration.pair_counts)
+
+
+# ----------------------------------------------------------------------
+# decomposed field solve on static fields
+# ----------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(
+    split=st.tuples(st.integers(1, 2), st.integers(1, 3), st.integers(1, 2)),
+    scheme=st.sampled_from(["yee", "ckc"]),
+    seed=st.integers(0, 1000),
+)
+def test_decomposed_solve_matches_global(split, scheme, seed):
+    """Halo-exchanged per-slab FDTD == the global roll-based solver."""
+    rng = np.random.default_rng(seed)
+    frame, decomp = _random_decomposed_fields(
+        rng, (6, 6, 4), (2, 2, 2), split, halo=1,
+        field_boundary=("periodic",) * 3)
+    for name in ("jx", "jy", "jz"):
+        getattr(frame, name)[...] = rng.standard_normal(frame.shape)
+        for sub in decomp.subdomains:
+            sub.interior_view(getattr(sub.slab, name))[...] = \
+                getattr(frame, name)[sub.global_slices]
+    exchange = HaloExchange(decomp, frame.periodic)
+    solvers = [FDTDSolver(sub.slab, scheme=scheme)
+               for sub in decomp.subdomains]
+    global_solver = FDTDSolver(frame, scheme=scheme)
+
+    dt = 1.0e-16
+    reference = Grid(frame.config)
+    reference.copy_fields_from(frame)
+    FDTDSolver(reference, scheme=scheme).step(dt)
+
+    exchange.exchange(("ex", "ey", "ez"), mode="wrap")
+    for solver in solvers:
+        solver.push_b(0.5 * dt)
+    exchange.exchange(("bx", "by", "bz"), mode="wrap")
+    for solver in solvers:
+        solver.push_e(dt)
+    exchange.exchange(("ex", "ey", "ez"), mode="wrap")
+    for solver in solvers:
+        solver.push_b(0.5 * dt)
+
+    for sub in decomp.subdomains:
+        for name in EM_FIELDS:
+            assert np.array_equal(
+                sub.interior_view(getattr(sub.slab, name)),
+                getattr(reference, name)[sub.global_slices],
+            ), (name, sub.index)
+    del global_solver
+
+
+# ----------------------------------------------------------------------
+# instrumented deposition strategies fall back to the frame path
+# ----------------------------------------------------------------------
+
+class _FrameStrategy:
+    """Minimal non-reference strategy: the reference kernel, renamed."""
+
+    name = "FrameFallback"
+
+    def run_step(self, grid, container, order, step, executor=None):
+        deposit_reference(grid, container, order, executor=executor)
+        return None
+
+
+def test_custom_strategy_runs_on_frame_and_matches():
+    def build(domains):
+        workload = UniformPlasmaWorkload(
+            n_cell=(8, 8, 8), tile_size=(4, 4, 4), ppc=8, max_steps=3,
+            domains=domains)
+        simulation = workload.build_simulation(deposition=_FrameStrategy())
+        try:
+            simulation.run(steps=3, record_energy=True)
+            if simulation.domain is not None:
+                simulation.domain.assemble(simulation.grid)
+            return simulation
+        finally:
+            simulation.shutdown()
+
+    assert_bitwise_equal(build((1, 1, 1)), build((2, 2, 1)),
+                         components=("ex", "ey", "ez", "bx", "by", "bz",
+                                     "jx", "jy", "jz"))
