@@ -12,9 +12,12 @@ framework installed, then reports:
 * the modelled deposition speedup over the baseline kernel (Figure 9).
 
 Run with:  python examples/lwfa_wakefield.py
+(set REPRO_EXAMPLES_SMOKE=1 for the fast CI configuration)
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -22,6 +25,9 @@ from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_series_table, speedup_series
 from repro.baselines.configs import make_strategy
 from repro.workloads.lwfa import LWFAWorkload
+
+#: CI smoke mode: same code paths, minimum useful problem size
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
 
 
 def wake_diagnostics(simulation) -> None:
@@ -41,7 +47,7 @@ def wake_diagnostics(simulation) -> None:
 
 def main() -> None:
     workload = LWFAWorkload(n_cell=(8, 8, 64), tile_size=(8, 8, 16), ppc=8,
-                            max_steps=12)
+                            max_steps=4 if SMOKE else 12)
 
     print("== 1. physics run with the MatrixPIC framework installed ==")
     strategy = make_strategy("MatrixPIC (FullOpt)")
@@ -52,7 +58,7 @@ def main() -> None:
 
     print("\n== 2. Figure 9: deposition kernel time, baseline vs MatrixPIC ==")
     kernel_time = {}
-    for ppc in (1, 8, 64):
+    for ppc in (1, 8) if SMOKE else (1, 8, 64):
         sweep = sweep_configurations(
             LWFAWorkload(n_cell=(8, 8, 32), tile_size=(8, 8, 16), ppc=ppc,
                          max_steps=2),

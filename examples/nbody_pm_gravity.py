@@ -9,13 +9,19 @@ self-gravitating particle cloud for a few leap-frog steps, reporting mass
 conservation and the collapse of the cloud.
 
 Run with:  python examples/nbody_pm_gravity.py
+(set REPRO_EXAMPLES_SMOKE=1 for the fast CI configuration)
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.workloads.nbody_pm import ParticleMeshGravity
+
+#: CI smoke mode: same code paths, minimum useful problem size
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
 
 
 def radius_of_gyration(positions: np.ndarray, box: float) -> float:
@@ -24,11 +30,12 @@ def radius_of_gyration(positions: np.ndarray, box: float) -> float:
 
 
 def main() -> None:
-    pm = ParticleMeshGravity(n_cell=(32, 32, 32), box_size=1.0, shape_order=1)
+    pm = ParticleMeshGravity(n_cell=(16, 16, 16) if SMOKE else (32, 32, 32),
+                             box_size=1.0, shape_order=1)
     rng = np.random.default_rng(7)
 
     # a compact Gaussian cloud of massive particles at the box centre
-    n = 5_000
+    n = 1_000 if SMOKE else 5_000
     positions = 0.5 + rng.normal(0.0, 0.06, (n, 3))
     positions = np.mod(positions, 1.0)
     velocities = np.zeros_like(positions)
@@ -47,7 +54,7 @@ def main() -> None:
     dt = 2.0e-4
     r0 = radius_of_gyration(positions, pm.box_size)
     print(f"{'step':>4s} {'radius of gyration':>20s} {'total mass error':>18s}")
-    for step in range(8):
+    for step in range(3 if SMOKE else 8):
         positions, velocities, rho = pm.step(positions, velocities, masses, dt)
         radius = radius_of_gyration(positions, pm.box_size)
         mass_error = abs(rho.sum() * cell_volume - masses.sum()) / masses.sum()

@@ -10,14 +10,18 @@ execution engine: the same step loop run serially and sharded over a
 thread pool, with bitwise-identical currents.
 
 Run with:  python examples/quickstart.py
+(set REPRO_EXAMPLES_SMOKE=1 for the fast CI configuration)
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_kernel_table
+from repro.api import Session
 from repro.config import ExecutionConfig
 from repro.hardware.cost_model import CostModel
 from repro.pic.deposition.reference import deposit_reference
@@ -26,12 +30,16 @@ from repro.pic.grid import Grid
 from repro.pic.simulation import Simulation
 from repro.workloads.uniform import UniformPlasmaWorkload
 
+#: CI smoke mode: same code paths, minimum useful problem size
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+
 
 def main() -> None:
     # A 16^3-cell uniform plasma with 64 particles per cell (the paper's
     # mid-density point), CIC deposition, two 8^3 tiles per axis.
     workload = UniformPlasmaWorkload(n_cell=(16, 16, 16), tile_size=(8, 8, 8),
-                                     ppc=64, shape_order=1, max_steps=3)
+                                     ppc=8 if SMOKE else 64, shape_order=1,
+                                     max_steps=2 if SMOKE else 3)
 
     print("== 1. correctness: every kernel reproduces the reference current ==")
     simulation = workload.build_simulation()
@@ -81,6 +89,21 @@ def main() -> None:
         simulation.shutdown()
     identical = bool(np.array_equal(runs["serial"], runs["threads"]))
     print(f"threads(4 shards) current == serial(4 shards) current: {identical}")
+
+    print("\n== 5. the public facade: repro.api.Session over repro.pipeline ==")
+    # New-style entry point: the session drives the same composable step
+    # pipeline that Simulation.step() now shims over, exposing per-stage
+    # wall time and a stepping iterator instead of an imperative loop.
+    with Session.from_workload(workload) as session:
+        print(f"stage set: {session.pipeline.name} "
+              f"[{' -> '.join(session.pipeline.stage_names())}]")
+        for state in session.run(steps=2, record_energy=True):
+            print(f"  step {state.step}: t = {state.time:.3e} s, "
+                  f"total energy = {state.energy.total:.3e} J")
+        slowest = max(session.breakdown.stage_rows(),
+                      key=lambda row: row["seconds"])
+        print(f"slowest pipeline stage: {slowest['stage']} "
+              f"({100.0 * slowest['fraction']:.1f} % of the step)")
 
 
 if __name__ == "__main__":

@@ -8,20 +8,26 @@ hybrid kernel without sorting, the hybrid kernel with a full per-step sort,
 and the fully integrated MatrixPIC framework.
 
 Run with:  python examples/uniform_plasma_scan.py
+(set REPRO_EXAMPLES_SMOKE=1 for the fast CI configuration)
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.analysis.runner import sweep_configurations
 from repro.analysis.tables import format_series_table, speedup_series
 from repro.baselines.configs import ABLATION_CONFIGS
 from repro.workloads.uniform import UniformPlasmaWorkload
 
+#: CI smoke mode: same code paths, minimum useful problem size
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+
 
 def main() -> None:
     kernel_time = {}
     throughput = {}
-    for ppc in (1, 8, 64, 128):
+    for ppc in (1, 64) if SMOKE else (1, 8, 64, 128):
         workload = UniformPlasmaWorkload(n_cell=(8, 8, 8), tile_size=(8, 8, 8),
                                          ppc=ppc, shape_order=1, max_steps=2)
         results = sweep_configurations(workload, ABLATION_CONFIGS, steps=2)

@@ -30,12 +30,25 @@ Matrix Outer-product for High-Performance Particle-in-Cell Simulations*
     The uniform-plasma and LWFA workloads of the paper and the Appendix-B
     particle-mesh (N-body) and PME (molecular dynamics) generalisations.
 
+``repro.pipeline``
+    The composable step-pipeline API: a :class:`~repro.pipeline.Stage`
+    protocol, the :class:`~repro.pipeline.StepPipeline` stage graph with
+    pre/post hooks, and the stage-set selection that routes the global,
+    executor-sharded and domain-decomposed step paths through one
+    implementation.
+
+``repro.api``
+    The public facade: :class:`~repro.api.Session` builds a simulation
+    behind the pipeline and drives it with a stepping iterator
+    (``Session.run(steps)``).
+
 ``repro.analysis``
     Metrics (throughput, speedup, percent of theoretical peak), runtime
     breakdowns, and formatters that regenerate the paper's tables/figures.
 """
 
 from repro._version import __version__
+from repro.api import Session
 from repro.config import (
     ExecutionConfig,
     GridConfig,
@@ -47,6 +60,7 @@ from repro.config import (
 from repro.exec import create_executor
 from repro.pic.simulation import Simulation
 from repro.core.framework import MatrixPICDeposition
+from repro.pipeline import StepPipeline, build_pipeline
 
 __all__ = [
     "__version__",
@@ -56,7 +70,10 @@ __all__ = [
     "SimulationConfig",
     "SortingPolicyConfig",
     "SpeciesConfig",
+    "Session",
     "Simulation",
+    "StepPipeline",
     "MatrixPICDeposition",
+    "build_pipeline",
     "create_executor",
 ]

@@ -23,6 +23,7 @@ import time
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.metrics import ExperimentResult
+from repro.api import Session
 from repro.baselines.configs import make_strategy
 from repro.config import SortingPolicyConfig
 from repro.hardware.cost_model import CostModel
@@ -62,12 +63,13 @@ def run_deposition_experiment(workload, configuration: str, *,
     cost_model = cost_model if cost_model is not None else CostModel()
     strategy = make_strategy(configuration, sorting_config=sorting_config,
                              cost_model=cost_model)
-    with workload.build_simulation(deposition=strategy) as simulation:
+    with Session.from_workload(workload, deposition=strategy) as session:
+        simulation = session.simulation
         if scramble and hasattr(workload, "scramble_particles"):
             workload.scramble_particles(simulation)
 
         for _ in range(warmup_steps):
-            simulation.step()
+            session.step()
         simulation.deposition_counters = KernelCounters()
         # the stage breakdown must cover exactly the measured steps, like
         # the kernel counters and wall clock (warmup contaminated the
@@ -77,8 +79,8 @@ def run_deposition_experiment(workload, configuration: str, *,
 
         n_steps = workload.max_steps if steps is None else steps
         start = time.perf_counter()
-        for _ in range(n_steps):
-            simulation.step()
+        for _ in session.run(n_steps):
+            pass
         wall = time.perf_counter() - start
 
     timing = cost_model.timing(simulation.deposition_counters)
@@ -91,6 +93,10 @@ def run_deposition_experiment(workload, configuration: str, *,
         steps=n_steps,
         timing=timing,
         wall_seconds=wall,
+        # the coarse STAGES buckets (breakdown.seconds) — NOT the
+        # fine-grained breakdown.stage_seconds: the ExperimentResult
+        # schema and the Figure-1/8 tables are keyed on the historical
+        # bucket names
         stage_seconds=dict(simulation.breakdown.seconds),
         extra={
             "effective_flops": simulation.deposition_counters.effective_flops,
@@ -154,9 +160,9 @@ def run_simulation_experiment(workload, *, steps: Optional[int] = None
     runtime breakdown.
     """
     # the context manager releases the executor's worker pools even when
-    # run() raises; they are recreated lazily if the caller steps the
+    # the run raises; they are recreated lazily if the caller steps the
     # returned simulation further
-    with workload.build_simulation() as simulation:
+    with Session.from_workload(workload) as session:
         n_steps = workload.max_steps if steps is None else steps
-        simulation.run(n_steps)
-    return simulation
+        session.run_all(n_steps)
+    return session.simulation

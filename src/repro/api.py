@@ -1,0 +1,195 @@
+"""Public facade: build and drive simulations through one small API.
+
+:class:`Session` is the supported entry point for running the PIC loop.
+It wraps a :class:`~repro.pic.simulation.Simulation` (and therefore the
+:class:`~repro.pipeline.StepPipeline` behind it) and exposes a stepping
+iterator instead of the legacy imperative ``Simulation.step()`` calls::
+
+    from repro.api import Session
+    from repro.workloads.uniform import UniformPlasmaWorkload
+
+    with UniformPlasmaWorkload(ppc=8).build_session() as session:
+        for state in session.run(steps=10, record_energy=True):
+            print(state.step, state.energy.total)
+    breakdown = session.breakdown          # per-stage wall time
+
+Everything the old API returned is reachable through the session
+(``session.simulation`` for the full legacy object), and the pipeline is
+exposed for extension (``session.pipeline.insert_after(...)``,
+``session.pipeline.add_post_hook(...)``).
+
+Bitwise contract: a session-driven run is bit-identical to the same
+number of ``Simulation.step()`` calls — both are the same
+``pipeline.run_step()`` underneath — including the energy history layout
+of ``Simulation.run(record_energy=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.config import SimulationConfig
+from repro.pic.diagnostics import (
+    EnergyDiagnostic,
+    EnergyRecord,
+    RuntimeBreakdown,
+)
+from repro.pic.simulation import DepositionStrategy, Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pic.grid import Grid
+    from repro.pic.particles import ParticleContainer
+    from repro.pipeline import StepPipeline
+
+__all__ = ["Session", "StepResult"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """State snapshot yielded by :meth:`Session.run` after each step."""
+
+    #: completed steps so far (the just-finished step is number ``step``)
+    step: int
+    #: physical time reached [s]
+    time: float
+    #: energy snapshot, when the run records energy (None otherwise)
+    energy: Optional[EnergyRecord] = None
+
+
+class Session:
+    """One simulation run behind the composable step pipeline.
+
+    Construct from a :class:`~repro.config.SimulationConfig` (keyword
+    options mirror :class:`~repro.pic.simulation.Simulation`), from a
+    workload builder (:meth:`from_workload` — also available as the
+    workloads' ``build_session``), or around an existing simulation
+    (:meth:`from_simulation`).
+    """
+
+    def __init__(self, config: SimulationConfig, *,
+                 deposition: Optional[DepositionStrategy] = None,
+                 load_plasma: bool = True):
+        self._simulation = Simulation(config, deposition=deposition,
+                                      load_plasma=load_plasma)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_simulation(cls, simulation: Simulation) -> "Session":
+        """Wrap an already constructed simulation (no copies made)."""
+        session = cls.__new__(cls)
+        session._simulation = simulation
+        return session
+
+    @classmethod
+    def from_workload(cls, workload, *,
+                      deposition: Optional[DepositionStrategy] = None
+                      ) -> "Session":
+        """Build a session from a workload builder.
+
+        ``workload`` is anything exposing ``build_simulation`` (all of
+        :mod:`repro.workloads`, plus user-defined builders).
+        """
+        return cls.from_simulation(
+            workload.build_simulation(deposition=deposition))
+
+    # ------------------------------------------------------------------
+    # the underlying objects
+    # ------------------------------------------------------------------
+    @property
+    def simulation(self) -> Simulation:
+        """The wrapped simulation (full legacy surface)."""
+        return self._simulation
+
+    @property
+    def pipeline(self) -> "StepPipeline":
+        """The stage graph driving every step; open for extension."""
+        return self._simulation.pipeline
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._simulation.config
+
+    @property
+    def grid(self) -> "Grid":
+        return self._simulation.grid
+
+    @property
+    def containers(self) -> List["ParticleContainer"]:
+        return self._simulation.containers
+
+    @property
+    def breakdown(self) -> RuntimeBreakdown:
+        """Per-stage wall-time accounting of every step run so far."""
+        return self._simulation.breakdown
+
+    @property
+    def energy(self) -> EnergyDiagnostic:
+        return self._simulation.energy
+
+    @property
+    def step_index(self) -> int:
+        return self._simulation.step_index
+
+    @property
+    def time(self) -> float:
+        return self._simulation.time
+
+    @property
+    def num_particles(self) -> int:
+        return self._simulation.num_particles
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> StepResult:
+        """Advance exactly one step through the pipeline."""
+        simulation = self._simulation
+        simulation.pipeline.run_step()
+        return StepResult(step=simulation.step_index, time=simulation.time)
+
+    def run(self, steps: Optional[int] = None,
+            record_energy: bool = False) -> Iterator[StepResult]:
+        """Advance ``steps`` steps (default: the configured ``max_steps``),
+        yielding a :class:`StepResult` after each one.
+
+        A generator: iterate it (or drain it with :meth:`run_all`) for
+        the steps to execute.  With ``record_energy`` the history matches
+        ``Simulation.run(record_energy=True)`` exactly — one initial
+        snapshot before the first step, one after every step.
+        """
+        simulation = self._simulation
+        n = simulation.config.max_steps if steps is None else steps
+        if record_energy:
+            simulation._record_energy()
+        for _ in range(n):
+            simulation.pipeline.run_step()
+            energy = simulation._record_energy() if record_energy else None
+            yield StepResult(step=simulation.step_index,
+                             time=simulation.time, energy=energy)
+
+    def run_all(self, steps: Optional[int] = None,
+                record_energy: bool = False) -> RuntimeBreakdown:
+        """Drain :meth:`run` and return the runtime breakdown."""
+        for _ in self.run(steps, record_energy=record_energy):
+            pass
+        return self._simulation.breakdown
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release the executor's worker pools (idempotent)."""
+        self._simulation.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Session(step={self.step_index}, "
+                f"pipeline={self.pipeline.name!r})")

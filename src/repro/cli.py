@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro campaign ...``.
+"""Command-line interface: ``python -m repro campaign|run ...``.
 
 The ``campaign`` subcommand expands a declarative (workload x PPC x
 configuration) grid, runs it through the experiment cache and an optional
@@ -12,6 +12,14 @@ directory is a pure cache hit::
 
 The JSON output embeds the cache accounting (``{"cache": {"hits": ...}}``)
 so CI jobs can assert a warm rerun recomputed nothing.
+
+The ``run`` subcommand drives one simulation through the public
+:class:`repro.api.Session` facade (and therefore the
+:mod:`repro.pipeline` stage graph) and reports the per-stage wall-time
+breakdown plus, optionally, the energy history::
+
+    python -m repro run --workload uniform --ppc 8 --steps 5 \\
+        --backend threads --shards 4 --domains 2,1,1 --record-energy
 """
 
 from __future__ import annotations
@@ -164,38 +172,88 @@ def build_parser() -> argparse.ArgumentParser:
                           default="table",
                           help="output format (default: table)")
     campaign.set_defaults(func=cmd_campaign)
+
+    run = subparsers.add_parser(
+        "run",
+        help="run one simulation through the repro.api.Session facade",
+        description="Build a single workload, drive it with Session.run "
+                    "(the repro.pipeline stage graph) and print the "
+                    "per-stage wall-time breakdown.",
+    )
+    run.add_argument("--workload", choices=("uniform", "lwfa"),
+                     default="uniform",
+                     help="workload family (default: uniform)")
+    run.add_argument("--ppc", type=_positive_int, default=8,
+                     help="particles per cell (default: 8)")
+    run.add_argument("--steps", type=_nonnegative_int, default=5,
+                     help="steps to run (default: 5)")
+    run.add_argument("--shape-order", type=int, choices=(1, 2, 3),
+                     default=None,
+                     help="deposition shape order (uniform workload only; "
+                          "default: 1)")
+    run.add_argument("--n-cell", type=_int3, default=None,
+                     metavar="NX,NY,NZ",
+                     help="grid cells per axis (defaults: 8,8,8 uniform / "
+                          "8,8,32 lwfa)")
+    run.add_argument("--tile-size", type=_int3, default=None,
+                     metavar="TX,TY,TZ",
+                     help="particle tile size per axis (defaults: 8,8,8 "
+                          "uniform / 8,8,16 lwfa)")
+    run.add_argument("--domains", type=_int3, default=None,
+                     metavar="PX,PY,PZ",
+                     help="domain decomposition (default: 1,1,1)")
+    run.add_argument("--backend", choices=("serial", "threads", "processes"),
+                     default="serial",
+                     help="tile execution backend (default: serial)")
+    run.add_argument("--shards", type=_positive_int, default=1,
+                     help="tile shards / workers per stage (default: 1)")
+    run.add_argument("--seed", type=_nonnegative_int, default=2026,
+                     help="workload RNG seed (default: 2026)")
+    run.add_argument("--record-energy", action="store_true",
+                     help="record the energy history and report the drift")
+    run.add_argument("--format", choices=("table", "json"), default="table",
+                     help="output format (default: table)")
+    run.set_defaults(func=cmd_run)
     return parser
 
 
-def _build_workloads(args) -> list:
+def _make_workload(family: str, *, ppc: int, args, execution=None):
+    """One workload builder with the CLI defaults (shared by both
+    subcommands, so the per-family defaults exist in exactly one place)."""
     from repro.workloads.lwfa import LWFAWorkload
     from repro.workloads.uniform import UniformPlasmaWorkload
 
+    kwargs = dict(
+        ppc=ppc,
+        max_steps=args.steps,
+        domains=args.domains or (1, 1, 1),
+        seed=args.seed,
+    )
+    if execution is not None:
+        kwargs["execution"] = execution
+    if family == "uniform":
+        workload = UniformPlasmaWorkload(
+            n_cell=args.n_cell or (8, 8, 8),
+            tile_size=args.tile_size or (8, 8, 8),
+            shape_order=args.shape_order or 1,
+            **kwargs,
+        )
+    else:
+        workload = LWFAWorkload(
+            n_cell=args.n_cell or (8, 8, 32),
+            tile_size=args.tile_size or (8, 8, 16),
+            **kwargs,
+        )
+    # fail fast on a PPC outside the paper's scan (workload builders
+    # only check it lazily when the simulation is built)
+    workload.ppc_triple()
+    return workload
+
+
+def _build_workloads(args) -> list:
     domains = args.domains or (1, 1, 1)
-    workloads = []
-    for ppc in args.ppc:
-        if args.workload == "uniform":
-            workloads.append(UniformPlasmaWorkload(
-                n_cell=args.n_cell or (8, 8, 8),
-                tile_size=args.tile_size or (8, 8, 8),
-                ppc=ppc,
-                shape_order=args.shape_order or 1,
-                max_steps=args.steps,
-                domains=domains,
-                seed=args.seed,
-            ))
-        else:
-            workloads.append(LWFAWorkload(
-                n_cell=args.n_cell or (8, 8, 32),
-                tile_size=args.tile_size or (8, 8, 16),
-                ppc=ppc,
-                max_steps=args.steps,
-                domains=domains,
-                seed=args.seed,
-            ))
-        # fail fast on a PPC outside the paper's scan (workload builders
-        # only check it lazily when the simulation is built)
-        workloads[-1].ppc_triple()
+    workloads = [_make_workload(args.workload, ppc=ppc, args=args)
+                 for ppc in args.ppc]
     if domains != (1, 1, 1):
         # fail fast on a decomposition the tile lattice cannot support
         from repro.domain.decomposition import Decomposition
@@ -288,6 +346,82 @@ def cmd_campaign(args, stdout=None) -> int:
         print(buffer.getvalue(), end="", file=stdout)
     else:
         print(format_campaign_table(outcome), file=stdout)
+    return 0
+
+
+def _build_run_workload(args):
+    """A single workload builder for the ``run`` subcommand."""
+    from repro.config import ExecutionConfig
+
+    execution = ExecutionConfig(backend=args.backend, num_shards=args.shards)
+    return _make_workload(args.workload, ppc=args.ppc, args=args,
+                          execution=execution)
+
+
+def cmd_run(args, stdout=None) -> int:
+    """Entry point of the ``run`` subcommand."""
+    stdout = stdout if stdout is not None else sys.stdout
+
+    if args.workload == "lwfa" and args.shape_order is not None:
+        print("error: --shape-order applies only to the uniform workload "
+              "(the lwfa workload is fixed at order 1)", file=sys.stderr)
+        return 2
+
+    try:
+        workload = _build_run_workload(args)
+        # building the session also validates the decomposition against
+        # the tile lattice — surface that as a usage error, not a traceback
+        session = workload.build_session()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    with session:
+        for _ in session.run(args.steps, record_energy=args.record_energy):
+            pass
+        payload = {
+            "workload": args.workload,
+            "ppc": args.ppc,
+            "steps": session.step_index,
+            "num_particles": session.num_particles,
+            "backend": args.backend,
+            "shards": args.shards,
+            "domains": list(args.domains or (1, 1, 1)),
+            "stage_set": session.pipeline.name,
+            "stages": session.pipeline.stage_names(),
+            "stage_seconds": {row["stage"]: row["seconds"]
+                              for row in session.breakdown.stage_rows()},
+            "bucket_seconds": dict(session.breakdown.seconds),
+        }
+        if args.record_energy:
+            payload["energy_history"] = [
+                {"step": r.step, "field": r.field_energy,
+                 "kinetic": r.kinetic_energy}
+                for r in session.energy.history
+            ]
+            payload["relative_energy_drift"] = \
+                session.energy.relative_energy_drift()
+
+    if args.format == "json":
+        payload["stages"] = list(payload["stages"])
+        print(json.dumps(payload, indent=2, sort_keys=True), file=stdout)
+        return 0
+
+    print(f"workload={args.workload} ppc={args.ppc} "
+          f"steps={payload['steps']} particles={payload['num_particles']}",
+          file=stdout)
+    print(f"pipeline: {payload['stage_set']} "
+          f"[{' -> '.join(payload['stages'])}]", file=stdout)
+    print(f"executor: {args.backend} x{args.shards}, "
+          f"domains={tuple(payload['domains'])}", file=stdout)
+    total = sum(payload["stage_seconds"].values()) or 1.0
+    print("per-stage wall time:", file=stdout)
+    for stage, seconds in payload["stage_seconds"].items():
+        print(f"  {stage:16s} {seconds:9.4f} s  {100.0 * seconds / total:5.1f} %",
+              file=stdout)
+    if args.record_energy:
+        print(f"relative energy drift: "
+              f"{payload['relative_energy_drift']:.3e}", file=stdout)
     return 0
 
 

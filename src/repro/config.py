@@ -234,6 +234,11 @@ class ExecutionConfig:
         into; also the worker count of the concurrent backends.  All
         backends produce bitwise-identical results for the same shard
         count (see the determinism contract in :mod:`repro.exec.base`).
+
+    The executor this selects travels inside the step pipeline's stage
+    context (:class:`repro.pipeline.StageContext`): the executor-sharded
+    step path is the *same* stage set as the serial one, sharding inside
+    the stage bodies.
     """
 
     backend: str = "serial"
@@ -318,7 +323,13 @@ class MovingWindowConfig:
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Top-level configuration of one simulation run."""
+    """Top-level configuration of one simulation run.
+
+    ``execution`` and ``domain`` together select the step-pipeline stage
+    set (:mod:`repro.pipeline`): a decomposed ``domain`` picks the
+    per-subdomain stage variants, while ``execution`` only changes how
+    each stage shards its tiles — never which stages run.
+    """
 
     grid: GridConfig
     species: Tuple[SpeciesConfig, ...] = (SpeciesConfig(),)

@@ -565,55 +565,120 @@ class DomainRuntime:
     def step_simulation(self, simulation: "Simulation") -> None:
         """Advance the whole system by one step (decomposed path).
 
-        Mirrors ``Simulation.step`` stage for stage, including the
-        runtime-breakdown instrumentation.
+        Compatibility shim: the decomposed step is now a stage set of the
+        simulation's :class:`~repro.pipeline.StepPipeline` (built from the
+        adapters below), so this simply runs that pipeline — stage for
+        stage the loop that used to be hand-wired here.
         """
+        simulation.pipeline.run_step()
+
+
+# ----------------------------------------------------------------------
+# pipeline stage adapters (the decomposed stage set)
+# ----------------------------------------------------------------------
+
+class DomainSyncStage:
+    """Pipeline stage: one-time seeding of the slabs from the frame grid.
+
+    Idempotent after the first step — kept as a stage (rather than
+    construction-time work) so fields imposed on ``simulation.grid``
+    between construction and the first step enter the decomposed state.
+    """
+
+    name = "sync_frame"
+    bucket = "other"
+
+    def run(self, ctx) -> None:
+        ctx.domain.sync_from_frame_once(ctx.grid)
+
+
+class HaloExchangeStage:
+    """Pipeline stage: refresh every slab's EM ghost layers.
+
+    Runs before the gather so tiles near a subdomain edge read
+    bit-exact copies of their neighbours' field values.
+    """
+
+    name = "halo_exchange"
+    bucket = "field_gather_push"
+
+    def run(self, ctx) -> None:
+        ctx.domain.halo.exchange(EM_FIELDS, mode="boundary")
+
+
+class DomainGatherPushStage:
+    """Pipeline stage: per-subdomain field gather + Boris push."""
+
+    name = "gather_push"
+    bucket = "field_gather_push"
+
+    def run(self, ctx) -> None:
+        for container in ctx.containers:
+            ctx.domain.push(ctx.simulation, container)
+
+
+class DomainDepositStage:
+    """Pipeline stage: deposition into the slabs with seam reduction.
+
+    Reference runs deposit straight into the subdomain windows;
+    instrumented strategies run on the global frame exactly as in the
+    single-domain path and their result is copied into the slabs
+    (bitwise-neutral fallback).
+    """
+
+    name = "deposit"
+    bucket = "current_deposition"
+
+    def run(self, ctx) -> None:
         from repro.pic.simulation import ReferenceDeposition
 
-        frame = simulation.grid
-        breakdown = simulation.breakdown
-        self.sync_from_frame_once(frame)
+        simulation = ctx.simulation
+        domain = ctx.domain
+        frame = ctx.grid
+        domain.zero_currents()
+        if isinstance(simulation.deposition, ReferenceDeposition):
+            for container in ctx.containers:
+                domain.deposit_reference(simulation, container)
+            return
+        frame.zero_currents()
+        for container in ctx.containers:
+            counters = simulation.deposition.run_step(
+                frame, container, simulation.config.shape_order,
+                simulation.step_index, executor=ctx.executor,
+            )
+            if counters is not None:
+                simulation.deposition_counters.merge(counters)
+        domain.pull_currents_from_frame(frame)
 
-        with breakdown.timeit("field_gather_push"):
-            self.halo.exchange(EM_FIELDS, mode="boundary")
-            for container in simulation.containers:
-                self.push(simulation, container)
 
-        with breakdown.timeit("boundary_redistribute"):
-            for container in simulation.containers:
-                container.apply_boundary_conditions(
-                    frame, executor=simulation.executor)
-                container.redistribute(frame, executor=simulation.executor,
-                                       move_recorder=self.migration.recorder)
-            simulation.moving_window.advance(
-                frame, simulation.containers, simulation.dt,
-                simulation.step_index)
+class DomainLaserStage:
+    """Pipeline stage: antenna injection on the subdomains it crosses."""
 
-        with breakdown.timeit("current_deposition"):
-            self.zero_currents()
-            if isinstance(simulation.deposition, ReferenceDeposition):
-                for container in simulation.containers:
-                    self.deposit_reference(simulation, container)
-            else:
-                # instrumented strategies run on the global frame exactly
-                # as in the single-domain path; the result is copied into
-                # the slabs (bitwise-neutral)
-                frame.zero_currents()
-                for container in simulation.containers:
-                    counters = simulation.deposition.run_step(
-                        frame, container, simulation.config.shape_order,
-                        simulation.step_index, executor=simulation.executor,
-                    )
-                    if counters is not None:
-                        simulation.deposition_counters.merge(counters)
-                self.pull_currents_from_frame(frame)
+    name = "laser"
+    bucket = "field_solve"
 
-        with breakdown.timeit("field_solve"):
-            if simulation.laser is not None:
-                self.inject_laser(simulation)
-            if self.solvers:
-                self.solve(simulation)
-                self.apply_boundaries(simulation)
+    def run(self, ctx) -> None:
+        if ctx.simulation.laser is not None:
+            ctx.domain.inject_laser(ctx.simulation)
 
-        breakdown.finish_step()
-        simulation.step_index += 1
+
+class DomainSolveStage:
+    """Pipeline stage: per-slab leap-frog update with halo exchanges."""
+
+    name = "solve"
+    bucket = "field_solve"
+
+    def run(self, ctx) -> None:
+        if ctx.domain.solvers:
+            ctx.domain.solve(ctx.simulation)
+
+
+class DomainBoundaryStage:
+    """Pipeline stage: PEC/absorbing boundaries on edge subdomains."""
+
+    name = "boundary"
+    bucket = "field_solve"
+
+    def run(self, ctx) -> None:
+        if ctx.domain.solvers:
+            ctx.domain.apply_boundaries(ctx.simulation)

@@ -123,3 +123,20 @@ class FieldBoundaryConditions:
             shape = [1, 1, 1]
             shape[axis] = dim
             arr *= window.reshape(shape)
+
+
+class FieldBoundaryStage:
+    """Pipeline stage: PEC/absorbing field boundaries on the global grid.
+
+    Gated on the simulation having a field solver, matching the
+    pre-pipeline loop (boundaries are part of the field update; a
+    solver-less run leaves the imposed fields untouched).
+    """
+
+    name = "boundary"
+    bucket = "field_solve"
+
+    def run(self, ctx) -> None:
+        simulation = ctx.simulation
+        if simulation.solver is not None:
+            simulation.boundaries.apply(ctx.grid)

@@ -30,6 +30,14 @@ STAGES = (
 class RuntimeBreakdown:
     """Accumulates wall-clock seconds per PIC stage.
 
+    Two granularities are kept in lockstep:
+
+    * ``seconds`` — the coarse *buckets* of :data:`STAGES`, the historical
+      Figure-1 categories every table/figure formatter consumes;
+    * ``stage_seconds`` — the fine-grained pipeline stages
+      (:mod:`repro.pipeline`), one entry per :class:`~repro.pipeline.Stage`
+      name, filled by the pipeline's post-stage timing hook.
+
     ``executor_name`` records which tile execution backend
     (:mod:`repro.exec`) produced the timings, so scaling studies can label
     their breakdowns.
@@ -37,12 +45,25 @@ class RuntimeBreakdown:
 
     def __init__(self, executor_name: str = "serial") -> None:
         self.seconds: Dict[str, float] = defaultdict(float)
+        #: per-pipeline-stage seconds (finer than the ``seconds`` buckets)
+        self.stage_seconds: Dict[str, float] = defaultdict(float)
         self.steps = 0
         self.executor_name = executor_name
 
     def record(self, stage: str, seconds: float) -> None:
         """Add ``seconds`` to the given stage."""
         self.seconds[stage] += float(seconds)
+
+    def record_stage(self, stage: str, bucket: str, seconds: float) -> None:
+        """Credit one pipeline stage *and* its coarse bucket.
+
+        Called by the pipeline's post-stage hook: ``stage`` is the
+        pipeline stage name (``gather_push``, ``migrate``, ...), ``bucket``
+        the :data:`STAGES` category it rolls up into.
+        """
+        seconds = float(seconds)
+        self.stage_seconds[stage] += seconds
+        self.seconds[bucket] += seconds
 
     def timeit(self, stage: str):
         """Context manager timing a stage with the wall clock."""
@@ -60,6 +81,7 @@ class RuntimeBreakdown:
         lockstep with the kernel counters they reset at the same point.
         """
         self.seconds = defaultdict(float)
+        self.stage_seconds = defaultdict(float)
         self.steps = 0
 
     @property
@@ -83,6 +105,19 @@ class RuntimeBreakdown:
             {"stage": stage, "seconds": self.seconds[stage],
              "fraction": fractions.get(stage, 0.0)}
             for stage in ordered
+        ]
+
+    def stage_rows(self) -> List[Dict[str, float]]:
+        """Fine-grained pipeline-stage rows, in first-recorded order.
+
+        Empty when the breakdown was filled through the legacy
+        :meth:`record` path only (no pipeline timing hook attached).
+        """
+        total = sum(self.stage_seconds.values())
+        return [
+            {"stage": stage, "seconds": seconds,
+             "fraction": (seconds / total if total > 0.0 else 0.0)}
+            for stage, seconds in self.stage_seconds.items()
         ]
 
 

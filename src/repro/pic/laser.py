@@ -85,3 +85,18 @@ class LaserAntenna:
         index = [slice(None)] * 3
         index[self.axis] = self.plane_index
         field[tuple(index)] += values
+
+
+class LaserStage:
+    """Pipeline stage: antenna injection on the global grid.
+
+    No-op for workloads without a laser, matching the pre-pipeline loop.
+    """
+
+    name = "laser"
+    bucket = "field_solve"
+
+    def run(self, ctx) -> None:
+        simulation = ctx.simulation
+        if simulation.laser is not None:
+            simulation.laser.inject(ctx.grid, simulation.time, ctx.dt)

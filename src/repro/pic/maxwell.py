@@ -206,3 +206,19 @@ class FDTDSolver:
         self.push_b(0.5 * dt)
         self.push_e(dt)
         self.push_b(0.5 * dt)
+
+
+class FieldSolveStage:
+    """Pipeline stage: one leap-frog FDTD update on the global grid.
+
+    No-op when the simulation was configured with ``field_solver="none"``
+    (kernel-only studies), matching the pre-pipeline loop.
+    """
+
+    name = "solve"
+    bucket = "field_solve"
+
+    def run(self, ctx) -> None:
+        solver = ctx.simulation.solver
+        if solver is not None:
+            solver.step(ctx.dt)

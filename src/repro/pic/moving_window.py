@@ -92,3 +92,20 @@ class MovingWindow:
                 removed += int(behind.sum())
                 tile.remove(behind)
         return removed
+
+
+class MovingWindowStage:
+    """Pipeline stage: advance the moving window (both step paths).
+
+    The decomposed path reuses this stage unchanged: the domain runtime
+    installs its slab shifter as :attr:`MovingWindow.field_shifter` at
+    construction, so ``advance`` transparently moves the per-subdomain
+    slabs instead of the (then stale) global arrays.
+    """
+
+    name = "moving_window"
+    bucket = "boundary_redistribute"
+
+    def run(self, ctx) -> None:
+        ctx.simulation.moving_window.advance(ctx.grid, ctx.containers,
+                                             ctx.dt, ctx.step_index)

@@ -194,3 +194,21 @@ class BorisPusher:
         for shard, results in zip(shards, executor.run(tasks)):
             for tile, arrays in zip(shard, results):
                 tile.x, tile.y, tile.z, tile.ux, tile.uy, tile.uz = arrays
+
+
+class GatherPushStage:
+    """Pipeline stage: field gather + Boris push for every species.
+
+    Single-domain variant — gathers from the global frame grid, sharding
+    the per-tile work over the context's executor exactly like the
+    pre-pipeline loop (see :class:`repro.pipeline.StepPipeline`).
+    """
+
+    name = "gather_push"
+    bucket = "field_gather_push"
+
+    def run(self, ctx) -> None:
+        simulation = ctx.simulation
+        for container in ctx.containers:
+            simulation.pusher.push(container, ctx.grid, ctx.dt,
+                                   executor=ctx.executor)

@@ -14,11 +14,19 @@ reference kernel is used, while the benchmarks install a
 :class:`DepositionStrategy` (the baseline kernels of
 :mod:`repro.baselines` or the Matrix-PIC framework of :mod:`repro.core`)
 that also performs sorting and records hardware counters.
+
+Since the pipeline redesign the cycle itself lives in
+:mod:`repro.pipeline`: construction builds a
+:class:`~repro.pipeline.StepPipeline` whose stage set is selected from
+the configuration (single-domain / domain-decomposed, with the tile
+executor carried in the stage context), and :meth:`Simulation.step` is a
+thin shim over ``pipeline.run_step()``.  New-style callers drive the
+loop through :class:`repro.api.Session`.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import List, Optional, Protocol
 
 import numpy as np
@@ -28,7 +36,11 @@ from repro.exec import TileExecutor, create_executor
 from repro.hardware.counters import KernelCounters
 from repro.pic.boundary import FieldBoundaryConditions
 from repro.pic.deposition.reference import deposit_reference
-from repro.pic.diagnostics import EnergyDiagnostic, RuntimeBreakdown
+from repro.pic.diagnostics import (
+    EnergyDiagnostic,
+    EnergyRecord,
+    RuntimeBreakdown,
+)
 from repro.pic.grid import Grid
 from repro.pic.laser import LaserAntenna
 from repro.pic.maxwell import FDTDSolver
@@ -36,6 +48,7 @@ from repro.pic.moving_window import MovingWindow
 from repro.pic.particles import ParticleContainer
 from repro.pic.plasma import load_uniform_plasma
 from repro.pic.pusher import BorisPusher
+from repro.pipeline import StepPipeline, build_pipeline
 
 
 class DepositionStrategy(Protocol):
@@ -123,6 +136,11 @@ class Simulation:
         self.energy = EnergyDiagnostic()
         #: accumulated hardware counters from the deposition strategy
         self.deposition_counters = KernelCounters()
+        #: the stage graph every step runs through (:mod:`repro.pipeline`);
+        #: its stage set is selected from the configuration — global,
+        #: executor-sharded (same set, executor in the context) or
+        #: domain-decomposed
+        self.pipeline: StepPipeline = build_pipeline(self)
 
     # ------------------------------------------------------------------
     @property
@@ -136,51 +154,46 @@ class Simulation:
         return sum(c.num_particles for c in self.containers)
 
     # ------------------------------------------------------------------
-    def step(self) -> None:
+    #: per-call toggles retired by the pipeline redesign: each is still
+    #: honoured (with a DeprecationWarning) so call sites written against
+    #: the run()-style keyword survive the migration — anything else is a
+    #: caller error and raises like any bad signature
+    _REMOVED_STEP_KEYWORDS = frozenset({"record_energy"})
+
+    def step(self, **legacy_kwargs) -> None:
         """Advance the whole system by one time step.
 
-        With a decomposed domain (``config.domain``) every stage runs per
-        subdomain through :class:`repro.domain.runtime.DomainRuntime` —
-        bitwise identical to this single-domain path at a fixed executor
-        shard count.
+        Thin compatibility shim over ``self.pipeline.run_step()``: the
+        stage ordering, executor sharding and (for a decomposed domain)
+        the per-subdomain variants are all owned by the pipeline, and the
+        result is bitwise identical to the pre-pipeline hand-wired loop.
+        Prefer :meth:`repro.api.Session.run` for new code.
+
+        The removed per-call toggle ``record_energy`` is still honoured
+        (an energy snapshot is recorded after the step) with a
+        :class:`DeprecationWarning` — per-step behaviour now belongs on
+        the pipeline or the :class:`repro.api.Session` facade.  Unknown
+        keywords raise :class:`TypeError` exactly like any wrong
+        signature.
         """
-        if self.domain is not None:
-            self.domain.step_simulation(self)
-            return
-        grid = self.grid
-
-        with self.breakdown.timeit("field_gather_push"):
-            for container in self.containers:
-                self.pusher.push(container, grid, self.dt,
-                                 executor=self.executor)
-
-        with self.breakdown.timeit("boundary_redistribute"):
-            for container in self.containers:
-                container.apply_boundary_conditions(grid,
-                                                    executor=self.executor)
-                container.redistribute(grid, executor=self.executor)
-            self.moving_window.advance(grid, self.containers, self.dt,
-                                       self.step_index)
-
-        with self.breakdown.timeit("current_deposition"):
-            grid.zero_currents()
-            for container in self.containers:
-                counters = self.deposition.run_step(
-                    grid, container, self.config.shape_order, self.step_index,
-                    executor=self.executor,
-                )
-                if counters is not None:
-                    self.deposition_counters.merge(counters)
-
-        with self.breakdown.timeit("field_solve"):
-            if self.laser is not None:
-                self.laser.inject(grid, self.time, self.dt)
-            if self.solver is not None:
-                self.solver.step(self.dt)
-                self.boundaries.apply(grid)
-
-        self.breakdown.finish_step()
-        self.step_index += 1
+        unknown = set(legacy_kwargs) - self._REMOVED_STEP_KEYWORDS
+        if unknown:
+            raise TypeError(
+                f"Simulation.step() got unexpected keyword argument(s) "
+                f"{sorted(unknown)}"
+            )
+        if legacy_kwargs:
+            warnings.warn(
+                f"Simulation.step() keywords {sorted(legacy_kwargs)} are "
+                "removed; configure the behaviour on simulation.pipeline "
+                "(repro.pipeline) or drive the loop through "
+                "repro.api.Session instead",
+                DeprecationWarning, stacklevel=2,
+            )
+        self.pipeline.run_step()
+        if legacy_kwargs.get("record_energy"):
+            # honour the retired toggle instead of silently dropping it
+            self._record_energy()
 
     def run(self, steps: Optional[int] = None,
             record_energy: bool = False) -> RuntimeBreakdown:
@@ -194,7 +207,7 @@ class Simulation:
                 self._record_energy()
         return self.breakdown
 
-    def _record_energy(self) -> None:
+    def _record_energy(self) -> EnergyRecord:
         """Record an energy snapshot (assembling decomposed fields first)."""
         if self.domain is not None:
             # the frame arrays are stale between steps on the decomposed
@@ -203,8 +216,8 @@ class Simulation:
             # on the frame grid is not overwritten with zeros)
             self.domain.sync_from_frame_once(self.grid)
             self.domain.assemble(self.grid)
-        self.energy.record(self.step_index, self.grid, self.containers,
-                           executor=self.executor)
+        return self.energy.record(self.step_index, self.grid,
+                                  self.containers, executor=self.executor)
 
     def shutdown(self) -> None:
         """Release the executor's worker pools (if any).

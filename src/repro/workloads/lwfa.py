@@ -148,6 +148,12 @@ class LWFAWorkload:
         simulation.moving_window.injector = self._window_injector(species)
         return simulation
 
+    def build_session(self, deposition: Optional[DepositionStrategy] = None):
+        """A :class:`repro.api.Session` driving this workload's simulation."""
+        from repro.api import Session
+
+        return Session.from_workload(self, deposition=deposition)
+
     def _window_injector(self, species: SpeciesConfig):
         """Injector refilling the slab exposed by the moving window."""
         rng = np.random.default_rng(self.seed + 1)

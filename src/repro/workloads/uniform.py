@@ -107,6 +107,12 @@ class UniformPlasmaWorkload:
         """A fully initialised simulation using the given deposition strategy."""
         return Simulation(self.build_config(), deposition=deposition)
 
+    def build_session(self, deposition: Optional[DepositionStrategy] = None):
+        """A :class:`repro.api.Session` driving this workload's simulation."""
+        from repro.api import Session
+
+        return Session.from_workload(self, deposition=deposition)
+
     # ------------------------------------------------------------------
     def scramble_particles(self, simulation: Simulation,
                            seed: Optional[int] = None) -> None:
