@@ -8,18 +8,26 @@ per tile occupancy, for both directions of the stencil:
 * **scatter** — three-component current deposition of one staged tile,
 * **gather** — six-component field interpolation for one tile.
 
-It also runs the uniform-plasma workload end to end and records the
-wall-clock of the ``field_gather_push`` and ``current_deposition`` stages
-through the new engine, so the perf trajectory JSON
-(``BENCH_deposition_scatter.json``, override with
-``$REPRO_BENCH_OUTPUT``) finally has stage-level datapoints.
+It also times the full deposition stage once per registered kernel tier
+(``oracle`` vs the optional numba ``fused`` tier; unavailable tiers
+report ``null`` columns), runs the uniform-plasma workload end to end,
+and records the wall-clock of the ``field_gather_push`` and
+``current_deposition`` stages through the new engine.
+
+The perf trajectory JSON (``BENCH_deposition_scatter.json``, override
+with ``$REPRO_BENCH_OUTPUT``) is a *history*: each run appends one
+record to the ``history`` list rather than overwriting earlier
+environments' datapoints.  A legacy single-record file is wrapped as
+the first history entry on the next append.
 
 Run standalone:  PYTHONPATH=src python benchmarks/bench_deposition_scatter.py
 Or via pytest:   python -m pytest benchmarks/bench_deposition_scatter.py -s
 
 The CI perf-smoke job asserts the flat-index scatter beats the
 ``np.add.at`` oracle by >=2x on CIC deposition (the engine's weakest
-case; QSP gains are far larger) and uploads the JSON as an artifact.
+case; QSP gains are far larger) and, when numba is installed, that the
+fused tier beats the oracle tier by >=1.5x on CIC deposition.  The
+JSON is uploaded as an artifact.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.backend import BackendConfig, kernel_registry, use_backend
 from repro.config import GridConfig
 from repro.pic.deposition.base import prepare_tile_data, scatter_tile_currents
 from repro.pic.gather import gather_fields_for_tile
@@ -49,6 +58,10 @@ REPS = 5
 
 #: CI gate: flat-index scatter must beat the np.add.at oracle on CIC
 CIC_SCATTER_TARGET = 2.0
+
+#: CI gate (numba leg only): fused tier must beat the oracle tier on
+#: CIC deposition, the shallowest stencil and hence the weakest case
+FUSED_CIC_DEPOSIT_TARGET = 1.5
 
 
 # ---------------------------------------------------------------------------
@@ -197,6 +210,49 @@ def _bench_point(order: int, ppc: int) -> Dict[str, float]:
     }
 
 
+def _tier_bench_point(order: int, ppc: int) -> Dict[str, object]:
+    """Full-deposit timing per registered kernel tier for one cell.
+
+    Unavailable tiers (e.g. ``fused`` without numba) get ``null``
+    columns so the JSON schema is identical on every environment.  All
+    available tiers are also checked bitwise against the oracle tier:
+    a tier that diverges is a registry bug, not a benchmark datapoint.
+    """
+    grid, container = _make_plasma(ppc)
+    tile = container.nonempty_tiles()[0]
+    available = kernel_registry.available_tier_names()
+    point: Dict[str, object] = {
+        "order": order,
+        "ppc": ppc,
+        "num_particles": tile.num_particles,
+    }
+    currents: Dict[str, tuple] = {}
+    for tier in kernel_registry.tier_names():
+        if tier not in available:
+            point[f"deposit_{tier}_ms"] = None
+            continue
+        with use_backend(BackendConfig(kernel_tier=tier)):
+            def deposit():
+                data = prepare_tile_data(grid, tile, container.charge, order)
+                grid.zero_currents()
+                scatter_tile_currents(grid, data)
+
+            point[f"deposit_{tier}_ms"] = _best_of(deposit) * 1e3
+            deposit()
+            currents[tier] = (grid.jx.copy(), grid.jy.copy(), grid.jz.copy())
+    for tier, arrays in currents.items():
+        for ref, got in zip(currents["oracle"], arrays):
+            assert np.array_equal(ref, got), (
+                f"kernel tier {tier!r} diverged bitwise from the oracle "
+                f"tier at order {order}"
+            )
+    oracle_ms = point["deposit_oracle_ms"]
+    fused_ms = point.get("deposit_fused_ms")
+    point["fused_deposit_speedup"] = (
+        oracle_ms / fused_ms if fused_ms else None)
+    return point
+
+
 def _uniform_stage_seconds(order: int, ppc: int = 64, steps: int = 3
                            ) -> Dict[str, float]:
     """field_gather_push / current_deposition wall seconds per step through
@@ -233,12 +289,19 @@ def output_path() -> str:
 def run_benchmark() -> Dict[str, object]:
     points = [_bench_point(order, ppc) for order in ORDERS
               for ppc in PPC_POINTS]
+    tier_points = [_tier_bench_point(order, ppc) for order in ORDERS
+                   for ppc in PPC_POINTS]
     stages = [_uniform_stage_seconds(order) for order in (1, 3)]
     report = {
         "benchmark": "deposition_scatter",
         "n_cell": list(BENCH_N_CELL),
         "reps": REPS,
         "points": points,
+        "kernel_tiers": {
+            "registered": list(kernel_registry.tier_names()),
+            "available": list(kernel_registry.available_tier_names()),
+            "points": tier_points,
+        },
         "uniform_stage_seconds": stages,
     }
     return report
@@ -253,6 +316,22 @@ def format_report(report: Dict[str, object]) -> str:
             f"{p['scatter_speedup']:>7.1f}x {p['deposit_speedup']:>7.1f}x "
             f"{p['gather_speedup']:>7.1f}x {p['combined_speedup']:>8.1f}x"
         )
+    tiers = report["kernel_tiers"]
+    lines.append("")
+    lines.append(f"kernel tiers available: {', '.join(tiers['available'])}")
+    lines.append(f"{'order':>5s} {'ppc':>5s} " + " ".join(
+        f"{'deposit/' + t:>14s}" for t in tiers["registered"])
+        + f" {'fused vs oracle':>16s}")
+    for p in tiers["points"]:
+        cols = []
+        for t in tiers["registered"]:
+            ms = p[f"deposit_{t}_ms"]
+            cols.append(f"{ms:>11.2f} ms" if ms is not None else
+                        f"{'n/a':>14s}")
+        speedup = p["fused_deposit_speedup"]
+        tail = f"{speedup:>15.1f}x" if speedup is not None else f"{'n/a':>16s}"
+        lines.append(f"{p['order']:>5d} {p['ppc']:>5d} "
+                     + " ".join(cols) + f" {tail}")
     lines.append("")
     for s in report["uniform_stage_seconds"]:
         lines.append(
@@ -263,14 +342,39 @@ def format_report(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def append_history(report: Dict[str, object], path: str) -> int:
+    """Append ``report`` to the trajectory file's ``history`` list.
+
+    Earlier runs are preserved: a file in the legacy single-record
+    format (no ``history`` key) is wrapped as the first entry.  Returns
+    the number of records the file holds after the append.
+    """
+    entry = dict(report)
+    entry["recorded_utc"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    history: List[Dict[str, object]] = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and "history" in existing:
+            history = list(existing["history"])
+        elif existing:
+            history = [existing]
+    history.append(entry)
+    payload = {"benchmark": "deposition_scatter", "history": history}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(history)
+
+
 def main() -> None:
     report = run_benchmark()
     print(format_report(report))
 
     path = output_path()
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=2)
-    print(f"\ntimings written to {path}")
+    count = append_history(report, path)
+    print(f"\ntimings appended to {path} (record {count} of the history)")
 
     cic = [p for p in report["points"]
            if p["order"] == 1 and p["ppc"] == max(PPC_POINTS)][0]
@@ -283,6 +387,20 @@ def main() -> None:
     print(f"CIC scatter speedup: {cic['scatter_speedup']:.1f}x "
           f"(target >={CIC_SCATTER_TARGET}x: met); "
           f"QSP gather+deposit combined: {qsp['combined_speedup']:.1f}x")
+
+    if "fused" in report["kernel_tiers"]["available"]:
+        tier_cic = [p for p in report["kernel_tiers"]["points"]
+                    if p["order"] == 1 and p["ppc"] == max(PPC_POINTS)][0]
+        speedup = tier_cic["fused_deposit_speedup"]
+        assert speedup >= FUSED_CIC_DEPOSIT_TARGET, (
+            f"fused CIC deposit only {speedup:.2f}x faster than the "
+            f"oracle tier (target >={FUSED_CIC_DEPOSIT_TARGET}x)"
+        )
+        print(f"fused CIC deposit speedup: {speedup:.1f}x "
+              f"(target >={FUSED_CIC_DEPOSIT_TARGET}x: met)")
+    else:
+        print("fused tier unavailable here (no numba); tier columns "
+              "recorded as null, speedup gate skipped")
 
 
 def test_deposition_scatter(print_header):

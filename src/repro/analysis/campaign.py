@@ -112,9 +112,11 @@ def build_workload(kind: str, params: Mapping):
     kwargs = dict(params)
     # nested config dataclasses arrive as plain dicts after a JSON round
     # trip; rebuild them from the declared field types
+    from repro.backend import BackendConfig
     from repro.config import ExecutionConfig
 
-    nested = {"sorting": SortingPolicyConfig, "execution": ExecutionConfig}
+    nested = {"sorting": SortingPolicyConfig, "execution": ExecutionConfig,
+              "backend": BackendConfig}
     for name, config_cls in nested.items():
         value = kwargs.get(name)
         if isinstance(value, Mapping):
@@ -243,16 +245,33 @@ class ExperimentSpec:
         different key.  The library version and a digest of the package
         sources are part of the payload: neither a new release nor an
         in-place source edit ever replays results computed by older code.
+
+        The kernel tier is normalised to its **numerics tag**: tiers that
+        are bitwise identical (the built-in oracle and fused tiers share
+        ``"flat-index-v1"``) map to the same key, so a result computed on
+        either replays for both — while any future tier with different
+        numerics gets distinct cache entries.
         """
+        from repro.backend import BackendConfig, kernel_registry
+
         payload = self.to_dict()
+        params = dict(payload["workload_params"])
         if payload["steps"] is not None:
             # the workload's max_steps only serves as the default run
             # length; with an explicit step count it is inert, so drop it
             # from the key (CLI and programmatic sweeps of the same
             # experiment then share cache entries)
-            params = dict(payload["workload_params"])
             params.pop("max_steps", None)
-            payload["workload_params"] = params
+        backend = params.pop("backend", None)
+        if isinstance(backend, BackendConfig):
+            backend = dataclasses.asdict(backend)
+        backend = dict(backend) if backend is not None else {}
+        params["backend"] = {
+            "array_backend": backend.get("array_backend", "numpy"),
+            "kernel_numerics": kernel_registry.numerics_tag(
+                backend.get("kernel_tier", "auto")),
+        }
+        payload["workload_params"] = params
         if payload["sorting"] is None:
             payload["sorting"] = sorting_config_to_dict(SortingPolicyConfig())
         if payload["cost_model"] is None:

@@ -26,9 +26,11 @@ of ``Simulation.run(record_energy=True)``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Union
 
+from repro.backend import BackendConfig
 from repro.config import SimulationConfig
 from repro.pic.diagnostics import (
     EnergyDiagnostic,
@@ -43,6 +45,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline import StepPipeline
 
 __all__ = ["Session", "StepResult"]
+
+
+def _coerce_backend(backend: Union[BackendConfig, str]) -> BackendConfig:
+    """A ``backend=`` argument as a full :class:`BackendConfig`."""
+    if isinstance(backend, BackendConfig):
+        return backend
+    if isinstance(backend, str):
+        return BackendConfig(kernel_tier=backend)
+    raise TypeError(
+        f"backend must be a BackendConfig or a kernel-tier name, "
+        f"got {backend!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -69,7 +83,14 @@ class Session:
 
     def __init__(self, config: SimulationConfig, *,
                  deposition: Optional[DepositionStrategy] = None,
-                 load_plasma: bool = True):
+                 load_plasma: bool = True,
+                 backend: Union[BackendConfig, str, None] = None):
+        """``backend`` overrides ``config.backend``: a
+        :class:`~repro.backend.BackendConfig`, or a kernel-tier name
+        (``"auto"`` / ``"oracle"`` / ``"fused"``) as shorthand.
+        """
+        if backend is not None:
+            config = config.with_updates(backend=_coerce_backend(backend))
         self._simulation = Simulation(config, deposition=deposition,
                                       load_plasma=load_plasma)
 
@@ -85,13 +106,19 @@ class Session:
 
     @classmethod
     def from_workload(cls, workload, *,
-                      deposition: Optional[DepositionStrategy] = None
+                      deposition: Optional[DepositionStrategy] = None,
+                      backend: Union[BackendConfig, str, None] = None
                       ) -> "Session":
         """Build a session from a workload builder.
 
         ``workload`` is anything exposing ``build_simulation`` (all of
-        :mod:`repro.workloads`, plus user-defined builders).
+        :mod:`repro.workloads`, plus user-defined builders).  ``backend``
+        overrides the workload's backend selection (a
+        :class:`~repro.backend.BackendConfig` or a kernel-tier name).
         """
+        if backend is not None:
+            workload = dataclasses.replace(
+                workload, backend=_coerce_backend(backend))
         return cls.from_simulation(
             workload.build_simulation(deposition=deposition))
 

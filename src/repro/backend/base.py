@@ -1,0 +1,161 @@
+"""Array-backend protocol and backend selection configuration.
+
+This module is the dependency root of :mod:`repro.backend`: it imports
+nothing from the rest of the library (mirroring ``repro.exec.base``), so
+:mod:`repro.config` can embed :class:`BackendConfig` without a cycle.
+
+An :class:`ArrayBackend` bundles the three things the numerical layers
+need from an array library:
+
+* the **array module handle** (``xp``) — the namespace bulk math is
+  written against (``xp.einsum``, ``xp.subtract(..., out=...)``, ...).
+  For the built-in backend this is NumPy itself, so routing through the
+  handle is behaviour-neutral;
+* **scratch allocation** (:meth:`~ArrayBackend.empty`,
+  :meth:`~ArrayBackend.zeros`) — every dense grid array, pool lease and
+  domain slab accumulator goes through these, which is where a device
+  backend would substitute resident device memory;
+* the **dtype policy** (``float_dtype``/``index_dtype``) — the single
+  source of truth for the FP64 field/current arrays and the ``int64``
+  flat stencil indices.
+
+Compiled *kernels* (the fused build+scatter path, etc.) are not part of
+this protocol: they are registered per named kernel with the
+:class:`~repro.backend.registry.KernelRegistry` so a backend can
+accelerate exactly the kernels it has and inherit the oracle for the
+rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Any, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+#: Annotation alias for dense arrays handled by a backend.  The NumPy
+#: backend hands out ``np.ndarray``; consumers annotate with ``Array`` so
+#: they stay agnostic of the concrete array type.
+Array = np.ndarray
+
+#: Kernel names understood by the registry, in dispatch order of one PIC
+#: step.  ``scatter3`` is the fully fused three-component (jx, jy, jz)
+#: form of ``scatter`` used by the current deposition hot loop.
+KERNEL_NAMES = ("build_weights", "scatter", "scatter3", "gather6",
+                "fdtd_roll")
+
+#: Kernel-tier requests understood by :class:`BackendConfig`.  ``auto``
+#: resolves to the best *available* registered tier at activation time;
+#: the concrete names select one tier explicitly (and raise when its
+#: dependency is missing).
+TIER_AUTO = "auto"
+TIER_ORACLE = "oracle"
+TIER_FUSED = "fused"
+KNOWN_TIER_REQUESTS = (TIER_AUTO, TIER_ORACLE, TIER_FUSED)
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """Protocol every array backend implements.
+
+    Registration is by value: instantiate the implementation and hand it
+    to :func:`repro.backend.register_array_backend`.  See
+    :class:`NumpyBackend` for the reference implementation.
+    """
+
+    #: registry name ("numpy", "cupy", ...)
+    name: str
+    #: the array module handle bulk math is written against
+    xp: ModuleType
+
+    @property
+    def float_dtype(self) -> Any:
+        """Floating dtype of field/current/weight arrays."""
+
+    @property
+    def index_dtype(self) -> Any:
+        """Integer dtype of flat stencil/node indices."""
+
+    def empty(self, shape: Tuple[int, ...], dtype: Any = None) -> Array:
+        """Uninitialised dense array owned by this backend."""
+
+    def zeros(self, shape: Tuple[int, ...], dtype: Any = None) -> Array:
+        """Zero-filled dense array owned by this backend."""
+
+    def asarray(self, data: Any, dtype: Any = None) -> Array:
+        """View/convert ``data`` as this backend's array type."""
+
+
+class NumpyBackend:
+    """The built-in CPU backend: plain NumPy arrays, FP64 policy.
+
+    This is the backend every existing code path ran on implicitly; the
+    explicit object exists so the numerical layers can be written against
+    the :class:`ArrayBackend` protocol instead of the global ``numpy``
+    import.
+    """
+
+    name = "numpy"
+    xp = np
+
+    @property
+    def float_dtype(self):
+        return np.float64
+
+    @property
+    def index_dtype(self):
+        return np.int64
+
+    def empty(self, shape, dtype=None) -> Array:
+        return np.empty(shape, dtype=self.float_dtype if dtype is None
+                        else dtype)
+
+    def zeros(self, shape, dtype=None) -> Array:
+        return np.zeros(shape, dtype=self.float_dtype if dtype is None
+                        else dtype)
+
+    def asarray(self, data, dtype=None) -> Array:
+        return np.asarray(data, dtype=dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NumpyBackend()"
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Array-backend and kernel-tier selection for one simulation.
+
+    Parameters
+    ----------
+    array_backend:
+        Name of a registered :class:`ArrayBackend` (default ``"numpy"``,
+        the only built-in).
+    kernel_tier:
+        ``"auto"`` (default) picks the best available registered kernel
+        tier — the numba-fused tier when numba imports, silently falling
+        back to the NumPy oracle otherwise (logged once).  ``"oracle"``
+        and ``"fused"`` select a tier explicitly; an explicit tier whose
+        dependency is missing raises at activation instead of falling
+        back.
+
+    Tier names other than the built-ins are accepted so user-registered
+    tiers can be selected; unknown names fail at activation time
+    (:func:`repro.backend.activate`), when the registry contents are
+    known.
+    """
+
+    array_backend: str = "numpy"
+    kernel_tier: str = TIER_AUTO
+
+    def __post_init__(self) -> None:
+        if not self.array_backend or not isinstance(self.array_backend, str):
+            raise ValueError(
+                f"array_backend must be a non-empty string, "
+                f"got {self.array_backend!r}"
+            )
+        if not self.kernel_tier or not isinstance(self.kernel_tier, str):
+            raise ValueError(
+                f"kernel_tier must be a non-empty string, "
+                f"got {self.kernel_tier!r}"
+            )

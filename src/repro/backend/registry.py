@@ -1,0 +1,373 @@
+"""Kernel registry, tier resolution and backend activation state.
+
+The :class:`KernelRegistry` maps named kernels (:data:`KERNEL_NAMES`) to
+per-tier implementations and resolves a tier *request* (``"auto"`` /
+``"oracle"`` / ``"fused"`` / a user-registered name) to the concrete
+dispatch table the numerical layers call through
+(:class:`ActiveKernels`).  Registration is additive: a tier provides the
+kernels it accelerates and inherits the oracle for the rest, which is
+what makes a new backend a registration instead of a rewrite.
+
+Selection order (first match wins):
+
+1. an explicit tier on :class:`~repro.backend.base.BackendConfig`
+   (``kernel_tier="oracle"``/``"fused"`` — errors if unavailable),
+2. the ``REPRO_KERNEL_TIER`` environment variable (same strict
+   semantics; this is how the CI ``[jit]`` leg forces the fused tier),
+3. ``"auto"``: the highest-priority tier whose dependencies import.
+   Unavailable tiers are skipped silently — logged once per process on
+   the ``repro.backend`` logger — so a no-numba environment runs the
+   oracle with zero ceremony.
+
+Every tier declares a ``numerics`` tag.  Tiers sharing a tag guarantee
+**bitwise-identical** results (the oracle and fused tiers share
+``"flat-index-v1"``, pinned by ``tests/test_stencil.py``); the campaign
+cache keys hash the tag instead of the tier name, so bitwise-equal tiers
+share cache entries while a future tier with different numerics gets
+distinct keys automatically.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.backend import kernels_numba, kernels_oracle
+from repro.backend.base import (
+    TIER_AUTO,
+    TIER_FUSED,
+    TIER_ORACLE,
+    ArrayBackend,
+    BackendConfig,
+    KERNEL_NAMES,
+    NumpyBackend,
+)
+
+logger = logging.getLogger("repro.backend")
+
+#: Environment variable consulted when the configured tier is ``auto``;
+#: set by the CI optional-deps leg to force the fused tier strictly.
+KERNEL_TIER_ENV = "REPRO_KERNEL_TIER"
+
+#: Numerics tag of the flat-index formulation.  Both built-in tiers
+#: carry it: they are bitwise identical by construction.
+NUMERICS_FLAT_V1 = "flat-index-v1"
+
+
+def _always_available() -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class KernelTier:
+    """One registered kernel implementation tier.
+
+    ``kernels`` maps kernel names to callables; names a tier omits are
+    inherited from the oracle tier at resolution time, and an explicit
+    ``None`` declares "no implementation" (consumers fall back to their
+    stencil path — the oracle does this for ``scatter3``).
+    """
+
+    name: str
+    #: tiers with equal tags produce bitwise-identical results
+    numerics: str
+    #: ``auto`` picks the available tier with the highest priority
+    priority: int
+    kernels: Mapping[str, Optional[Callable]] = field(default_factory=dict)
+    is_available: Callable[[], bool] = _always_available
+    #: shown when an explicit request hits an unavailable tier
+    unavailable_reason: Callable[[], str] = lambda: ""
+
+    def __post_init__(self) -> None:
+        unknown = set(self.kernels) - set(KERNEL_NAMES)
+        if unknown:
+            raise ValueError(
+                f"tier {self.name!r} registers unknown kernel(s) "
+                f"{sorted(unknown)}; known kernels: {KERNEL_NAMES}"
+            )
+
+
+@dataclass(frozen=True)
+class ActiveKernels:
+    """Resolved per-kernel dispatch table of one tier.
+
+    Attribute per kernel name; ``scatter3`` is ``None`` for tiers
+    without a fused three-component deposit (callers use the stencil
+    path instead).
+    """
+
+    tier: str
+    numerics: str
+    build_weights: Callable
+    scatter: Callable
+    scatter3: Optional[Callable]
+    gather6: Callable
+    fdtd_roll: Callable
+
+
+class KernelRegistry:
+    """Named-kernel dispatch across registered implementation tiers."""
+
+    def __init__(self) -> None:
+        self._tiers: Dict[str, KernelTier] = {}
+        self._resolved: Dict[str, ActiveKernels] = {}
+        self._fallback_logged: set = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def register(self, tier: KernelTier, replace: bool = False) -> None:
+        """Add a tier (``replace=True`` to overwrite an existing name)."""
+        with self._lock:
+            if tier.name in self._tiers and not replace:
+                raise ValueError(
+                    f"kernel tier {tier.name!r} is already registered; "
+                    "pass replace=True to overwrite"
+                )
+            self._tiers[tier.name] = tier
+            self._resolved.clear()
+
+    def tier_names(self) -> Tuple[str, ...]:
+        """All registered tier names, best (highest priority) first."""
+        tiers = sorted(self._tiers.values(),
+                       key=lambda t: (-t.priority, t.name))
+        return tuple(t.name for t in tiers)
+
+    def available_tier_names(self) -> Tuple[str, ...]:
+        """Registered tiers whose dependencies import, best first."""
+        return tuple(name for name in self.tier_names()
+                     if self._tiers[name].is_available())
+
+    def tier(self, name: str) -> KernelTier:
+        """The registered tier object for ``name`` (KeyError if absent)."""
+        return self._tiers[name]
+
+    # ------------------------------------------------------------------
+    def numerics_tag(self, request: str = TIER_AUTO) -> str:
+        """The numerics tag a tier request resolves to.
+
+        Hashable identity of the *results* a request produces: ``auto``
+        resolves through availability exactly like :meth:`resolve`, so
+        on any machine where the available tiers share a tag (the
+        built-ins always do) the returned tag — and therefore every
+        cache key derived from it — is machine-independent.
+        """
+        return self.resolve(request).numerics
+
+    def resolve(self, request: str = TIER_AUTO) -> ActiveKernels:
+        """Resolve a tier request to its kernel dispatch table.
+
+        ``auto`` picks the best available tier, logging each skipped
+        unavailable tier once per process; an explicit name raises
+        :class:`ValueError` when unknown or unavailable.
+        """
+        cached = self._resolved.get(request)
+        if cached is not None:
+            return cached
+        if request == TIER_AUTO:
+            tier = self._resolve_auto()
+        else:
+            tier = self._resolve_explicit(request)
+        resolved = self._dispatch_table(tier)
+        with self._lock:
+            self._resolved[request] = resolved
+        return resolved
+
+    def _resolve_auto(self) -> KernelTier:
+        chosen = None
+        for name in self.tier_names():
+            tier = self._tiers[name]
+            if tier.is_available():
+                chosen = tier
+                break
+            if name not in self._fallback_logged:
+                self._fallback_logged.add(name)
+                logger.info(
+                    "kernel tier %r unavailable (%s); auto-selection "
+                    "falls back to the next tier",
+                    name, tier.unavailable_reason() or "dependency missing",
+                )
+        if chosen is None:
+            raise RuntimeError("no available kernel tier is registered")
+        return chosen
+
+    def _resolve_explicit(self, request: str) -> KernelTier:
+        tier = self._tiers.get(request)
+        if tier is None:
+            raise ValueError(
+                f"unknown kernel tier {request!r}; registered tiers: "
+                f"{list(self.tier_names())}"
+            )
+        if not tier.is_available():
+            raise ValueError(
+                f"kernel tier {request!r} is not available: "
+                f"{tier.unavailable_reason() or 'dependency missing'}"
+            )
+        return tier
+
+    def _dispatch_table(self, tier: KernelTier) -> ActiveKernels:
+        base = self._tiers.get(TIER_ORACLE)
+        merged: Dict[str, Optional[Callable]] = (
+            dict(base.kernels) if base is not None else {})
+        merged.update(tier.kernels)
+        missing = [k for k in KERNEL_NAMES if k not in merged]
+        if missing:
+            raise ValueError(
+                f"kernel tier {tier.name!r} resolves with missing "
+                f"kernel(s) {missing} and no oracle tier to inherit from"
+            )
+        return ActiveKernels(tier=tier.name, numerics=tier.numerics,
+                             **{name: merged[name] for name in KERNEL_NAMES})
+
+
+#: The process-wide registry with the two built-in tiers.
+kernel_registry = KernelRegistry()
+kernel_registry.register(KernelTier(
+    name=TIER_ORACLE,
+    numerics=NUMERICS_FLAT_V1,
+    priority=0,
+    kernels={
+        "build_weights": kernels_oracle.build_weights,
+        "scatter": kernels_oracle.scatter,
+        "scatter3": kernels_oracle.scatter3,  # None: stencil path is the ref
+        "gather6": kernels_oracle.gather6,
+        "fdtd_roll": kernels_oracle.fdtd_roll,
+    },
+))
+kernel_registry.register(KernelTier(
+    name=TIER_FUSED,
+    numerics=NUMERICS_FLAT_V1,  # bitwise-identical to the oracle
+    priority=10,
+    kernels={
+        "build_weights": kernels_numba.build_weights,
+        "scatter": kernels_numba.scatter,
+        "scatter3": kernels_numba.scatter3,
+        # gather6 and fdtd_roll inherit the oracle: the gather reduce
+        # must stay the shared einsum (bitwise), the roll is memcpy-bound
+    },
+    is_available=kernels_numba.available,
+    unavailable_reason=kernels_numba.unavailable_reason,
+))
+
+
+def register_kernel_tier(tier: KernelTier, replace: bool = False) -> None:
+    """Register a kernel tier with the process-wide registry."""
+    kernel_registry.register(tier, replace=replace)
+
+
+# ---------------------------------------------------------------------------
+# array-backend registry
+# ---------------------------------------------------------------------------
+
+_ARRAY_BACKENDS: Dict[str, ArrayBackend] = {"numpy": NumpyBackend()}
+
+
+def register_array_backend(backend: ArrayBackend,
+                           replace: bool = False) -> None:
+    """Register an :class:`ArrayBackend` implementation by its name."""
+    if backend.name in _ARRAY_BACKENDS and not replace:
+        raise ValueError(
+            f"array backend {backend.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _ARRAY_BACKENDS[backend.name] = backend
+
+
+def array_backend_names() -> Tuple[str, ...]:
+    """Names of the registered array backends."""
+    return tuple(sorted(_ARRAY_BACKENDS))
+
+
+# ---------------------------------------------------------------------------
+# process-wide activation state
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BackendSelection:
+    """The resolved (array backend, kernel tier) pair of one activation."""
+
+    config: BackendConfig
+    backend: ArrayBackend
+    kernels: ActiveKernels
+
+    @property
+    def kernel_tier(self) -> str:
+        """Name of the resolved kernel tier (``auto`` already resolved)."""
+        return self.kernels.tier
+
+
+_active: Optional[BackendSelection] = None
+
+
+def _coerce_config(value) -> BackendConfig:
+    if value is None:
+        return BackendConfig()
+    if isinstance(value, BackendConfig):
+        return value
+    if isinstance(value, str):
+        return BackendConfig(kernel_tier=value)
+    raise TypeError(
+        f"expected a BackendConfig, a kernel-tier name or None, "
+        f"got {value!r}"
+    )
+
+
+def activate(config=None) -> BackendSelection:
+    """Resolve and install the process-wide backend selection.
+
+    ``config`` is a :class:`~repro.backend.base.BackendConfig`, a bare
+    kernel-tier name, or ``None`` for the defaults.  Called by
+    :class:`repro.pic.simulation.Simulation` at construction; the
+    selection is process-global because the kernels dispatch from deep
+    inside per-tile loops that never see a configuration object — which
+    is benign across the built-in tiers precisely because they are
+    bitwise identical.  Tests scope a selection with
+    :func:`use_backend`.
+    """
+    global _active
+    config = _coerce_config(config)
+    backend = _ARRAY_BACKENDS.get(config.array_backend)
+    if backend is None:
+        raise ValueError(
+            f"unknown array backend {config.array_backend!r}; registered: "
+            f"{list(array_backend_names())}"
+        )
+    request = config.kernel_tier
+    if request == TIER_AUTO:
+        env = os.environ.get(KERNEL_TIER_ENV, "").strip()
+        if env:
+            request = env  # strict: an env-forced tier must exist
+    _active = BackendSelection(config=config, backend=backend,
+                               kernels=kernel_registry.resolve(request))
+    return _active
+
+
+def active_selection() -> BackendSelection:
+    """The current selection, activating the defaults on first use."""
+    if _active is None:
+        return activate()
+    return _active
+
+
+def active_backend() -> ArrayBackend:
+    """The active :class:`ArrayBackend` (array handle + allocation)."""
+    return active_selection().backend
+
+
+def active_kernels() -> ActiveKernels:
+    """The active kernel dispatch table."""
+    return active_selection().kernels
+
+
+@contextmanager
+def use_backend(config):
+    """Context manager scoping a backend selection (tests, benchmarks)."""
+    global _active
+    previous = _active
+    try:
+        yield activate(config)
+    finally:
+        _active = previous

@@ -151,6 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "domain).  Decomposed runs are bitwise "
                                "identical to single-domain ones at a "
                                "fixed shard count")
+    campaign.add_argument("--kernel-tier",
+                          choices=("auto", "oracle", "fused"),
+                          default="auto",
+                          help="stencil kernel tier (repro.backend): "
+                               "'oracle' = NumPy flat-index reference, "
+                               "'fused' = numba-compiled kernels (requires "
+                               "the [jit] extra), 'auto' = best available "
+                               "(default).  Tiers are bitwise identical, so "
+                               "cached results are shared across them")
     campaign.add_argument("--seed", type=_nonnegative_int, default=2026,
                           help="workload RNG seed (default: 2026)")
     campaign.add_argument("--no-scramble", action="store_true",
@@ -207,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tile execution backend (default: serial)")
     run.add_argument("--shards", type=_positive_int, default=1,
                      help="tile shards / workers per stage (default: 1)")
+    run.add_argument("--kernel-tier",
+                     choices=("auto", "oracle", "fused"),
+                     default="auto",
+                     help="stencil kernel tier (repro.backend): 'oracle' = "
+                          "NumPy flat-index reference, 'fused' = "
+                          "numba-compiled kernels (requires the [jit] "
+                          "extra), 'auto' = best available (default)")
     run.add_argument("--seed", type=_nonnegative_int, default=2026,
                      help="workload RNG seed (default: 2026)")
     run.add_argument("--record-energy", action="store_true",
@@ -220,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _make_workload(family: str, *, ppc: int, args, execution=None):
     """One workload builder with the CLI defaults (shared by both
     subcommands, so the per-family defaults exist in exactly one place)."""
+    from repro.backend import BackendConfig
     from repro.workloads.lwfa import LWFAWorkload
     from repro.workloads.uniform import UniformPlasmaWorkload
 
@@ -227,6 +244,8 @@ def _make_workload(family: str, *, ppc: int, args, execution=None):
         ppc=ppc,
         max_steps=args.steps,
         domains=args.domains or (1, 1, 1),
+        backend=BackendConfig(kernel_tier=getattr(args, "kernel_tier",
+                                                  "auto")),
         seed=args.seed,
     )
     if execution is not None:
@@ -386,6 +405,7 @@ def cmd_run(args, stdout=None) -> int:
             "num_particles": session.num_particles,
             "backend": args.backend,
             "shards": args.shards,
+            "kernel_tier": session.breakdown.kernel_tier,
             "domains": list(args.domains or (1, 1, 1)),
             "stage_set": session.pipeline.name,
             "stages": session.pipeline.stage_names(),
@@ -413,7 +433,8 @@ def cmd_run(args, stdout=None) -> int:
     print(f"pipeline: {payload['stage_set']} "
           f"[{' -> '.join(payload['stages'])}]", file=stdout)
     print(f"executor: {args.backend} x{args.shards}, "
-          f"domains={tuple(payload['domains'])}", file=stdout)
+          f"domains={tuple(payload['domains'])}, "
+          f"kernel-tier={payload['kernel_tier']}", file=stdout)
     total = sum(payload["stage_seconds"].values()) or 1.0
     print("per-stage wall time:", file=stdout)
     for stage, seconds in payload["stage_seconds"].items():

@@ -14,6 +14,7 @@ from typing import Sequence, Tuple
 from repro import constants
 
 # safe: repro.exec has no runtime dependency back on this module
+from repro.backend.base import BackendConfig
 from repro.exec.base import SUPPORTED_BACKENDS
 
 #: Marker stored in a GPMA slot that holds no particle (paper:
@@ -343,6 +344,7 @@ class SimulationConfig:
     moving_window: MovingWindowConfig = field(default_factory=MovingWindowConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     domain: DomainConfig = field(default_factory=DomainConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
     seed: int = 12345
 
     def __post_init__(self) -> None:

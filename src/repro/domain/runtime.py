@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.domain.decomposition import Decomposition, Subdomain
 from repro.domain.halo import EM_FIELDS, HaloExchange
 from repro.domain.migration import MigrationStats
@@ -148,7 +149,8 @@ def _domain_deposit_shard(frame_config, geometry: Tuple, windows: Tuple,
         scratch_grids.acquire(frame_config, zero=False), geometry)
     try:
         if outs is None:
-            outs = [tuple(np.zeros(dims) for _ in range(3))
+            zeros = active_backend().zeros
+            outs = [tuple(zeros(dims) for _ in range(3))
                     for _, dims in windows]
         for payload in payloads:
             tile = tile_from_payload(payload)
@@ -174,7 +176,7 @@ def _domain_rho_shard(frame_config, geometry: Tuple, windows: Tuple,
         scratch_grids.acquire(frame_config, zero=False), geometry)
     try:
         if outs is None:
-            outs = [np.zeros(dims) for _, dims in windows]
+            outs = [active_backend().zeros(dims) for _, dims in windows]
         cell_volume = float(np.prod(frame.cell_size))
         for payload in payloads:
             tile = tile_from_payload(payload)

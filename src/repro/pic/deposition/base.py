@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import active_kernels
 from repro.config import SHAPE_ORDER_CIC, SHAPE_ORDER_QSP, SHAPE_ORDER_TSC
 from repro.hardware.counters import KernelCounters
 from repro.pic.grid import (
@@ -29,7 +30,12 @@ from repro.pic.grid import (
 from repro.pic.particles import ParticleContainer, ParticleTile
 from repro.pic.pusher import velocities
 from repro.pic.shapes import shape_factors, shape_support
-from repro.pic.stencil import StencilOperator
+from repro.pic.stencil import (
+    StencilOperator,
+    apply_box,
+    box_geometry,
+    box_segments,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec import TileExecutor
@@ -221,12 +227,33 @@ def scatter_tile_currents(grid: Grid, data: TileDepositionData) -> None:
 
     The three components share one flattened stencil (node ids and 3-D
     weights computed once per tile) and accumulate with a single
-    ``np.bincount`` pass each — see :mod:`repro.pic.stencil`.
+    scatter-add pass each — see :mod:`repro.pic.stencil`.  When the
+    active kernel tier provides a fused three-component ``scatter3``
+    (the numba tier), the whole staged tile deposits in one compiled
+    pass into bounding-box accumulators; the boxes are applied to the
+    grid through the same wrapped/clamped segment logic as the stencil
+    path, so both routes are bitwise identical.
     """
     if data.num_particles == 0:
         return
-    stencil = data.node_stencil(grid)
     jx, jy, jz = grid.current_arrays()
+    kern = active_kernels()
+    if kern.scatter3 is not None:
+        geometry = box_geometry(grid.shape, data.base_x, data.base_y,
+                                data.base_z, data.support)
+        if geometry is not None:
+            lo, dims = geometry
+            box_x, box_y, box_z = kern.scatter3(
+                data.base_x, data.base_y, data.base_z,
+                data.wx, data.wy, data.wz,
+                data.wqx, data.wqy, data.wqz, lo, dims)
+            segments = box_segments(lo, dims, grid.shape,
+                                    tuple(bool(p) for p in grid.periodic))
+            apply_box(box_x, segments, jx)
+            apply_box(box_y, segments, jy)
+            apply_box(box_z, segments, jz)
+            return
+    stencil = data.node_stencil(grid)
     stencil.scatter(data.wqx, jx)
     stencil.scatter(data.wqy, jy)
     stencil.scatter(data.wqz, jz)

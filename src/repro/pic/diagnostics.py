@@ -39,16 +39,19 @@ class RuntimeBreakdown:
       name, filled by the pipeline's post-stage timing hook.
 
     ``executor_name`` records which tile execution backend
-    (:mod:`repro.exec`) produced the timings, so scaling studies can label
-    their breakdowns.
+    (:mod:`repro.exec`) produced the timings, and ``kernel_tier`` which
+    kernel tier (:mod:`repro.backend`) ran the stencil primitives, so
+    scaling studies can label their breakdowns.
     """
 
-    def __init__(self, executor_name: str = "serial") -> None:
+    def __init__(self, executor_name: str = "serial",
+                 kernel_tier: str = "oracle") -> None:
         self.seconds: Dict[str, float] = defaultdict(float)
         #: per-pipeline-stage seconds (finer than the ``seconds`` buckets)
         self.stage_seconds: Dict[str, float] = defaultdict(float)
         self.steps = 0
         self.executor_name = executor_name
+        self.kernel_tier = kernel_tier
 
     def record(self, stage: str, seconds: float) -> None:
         """Add ``seconds`` to the given stage."""

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, List, Tuple
 import numpy as np
 
 from repro import constants
+from repro.backend import active_backend
 from repro.pic.particles import ParticleContainer, ParticleTile
 from repro.pic.grid import Grid
 
@@ -22,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def lorentz_factor(ux: np.ndarray, uy: np.ndarray, uz: np.ndarray) -> np.ndarray:
     """Relativistic gamma for momenta expressed as ``u = gamma v`` [m/s]."""
     c2 = constants.C_LIGHT**2
-    return np.sqrt(1.0 + (ux**2 + uy**2 + uz**2) / c2)
+    return active_backend().xp.sqrt(1.0 + (ux**2 + uy**2 + uz**2) / c2)
 
 
 def velocities(ux: np.ndarray, uy: np.ndarray, uz: np.ndarray

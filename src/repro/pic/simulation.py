@@ -31,6 +31,7 @@ from typing import List, Optional, Protocol
 
 import numpy as np
 
+from repro.backend import activate
 from repro.config import SimulationConfig
 from repro.exec import TileExecutor, create_executor
 from repro.hardware.counters import KernelCounters
@@ -93,6 +94,9 @@ class Simulation:
                  deposition: Optional[DepositionStrategy] = None,
                  load_plasma: bool = True):
         self.config = config
+        #: array backend + kernel tier resolved from ``config.backend``
+        #: (process-global: the stencil primitives dispatch through it)
+        self.backend_selection = activate(config.backend)
         self.grid = Grid(config.grid)
         self.dt = config.time_step
         self.step_index = 0
@@ -132,7 +136,10 @@ class Simulation:
             # advance, particle trimming and plasma injection are shared
             self.moving_window.field_shifter = self.domain.shift_window_fields
 
-        self.breakdown = RuntimeBreakdown(executor_name=self.executor.name)
+        self.breakdown = RuntimeBreakdown(
+            executor_name=self.executor.name,
+            kernel_tier=self.backend_selection.kernel_tier,
+        )
         self.energy = EnergyDiagnostic()
         #: accumulated hardware counters from the deposition strategy
         self.deposition_counters = KernelCounters()

@@ -21,14 +21,13 @@ order.  This module replaces that pattern with a single-pass formulation:
    broadcast add off the particles' base corner id,
 2. the tensor-product weights are flattened to the matching
    ``(n, support**3)`` layout,
-3. each component is accumulated with a single
-   ``np.bincount(flat_ids, weights, minlength=box_size)`` — one C pass
-   over the flattened stencil — and the box is then applied to the grid
-   as a handful of slice additions: periodic axes wrap the box's
-   overhanging segments around (as many periods as needed), open axes
-   collapse them onto the boundary plane.  The adjoint gather extracts
-   the same wrapped/clamped box from the field and reads it through the
-   shared ids and weights.
+3. each component is accumulated with a single scatter-add pass over the
+   flattened stencil into a box accumulator, and the box is then applied
+   to the grid as a handful of slice additions: periodic axes wrap the
+   box's overhanging segments around (as many periods as needed), open
+   axes collapse them onto the boundary plane.  The adjoint gather
+   extracts the same wrapped/clamped box from the field and reads it
+   through the shared ids and weights.
 
 The box is *tile-sized*, not grid-sized, so the per-tile cost is
 ``O(n_particles * support**3 + box)`` — independent of the global grid
@@ -36,19 +35,31 @@ resolution (the historical formulation's fancy-index scatters shared this
 property, which a naive whole-grid ``bincount(minlength=grid)`` would
 lose on multi-tile domains).
 
+Backend dispatch
+----------------
+The two inner primitives — the ``(n, support**3)`` id/weight *build* and
+the flattened scatter-add *accumulation* — dispatch through the kernel
+registry of :mod:`repro.backend` (``build_weights`` and ``scatter``), so
+a compiled tier replaces exactly those passes while the boundary
+handling (the wrapped/clamped segment application below) stays this
+module's shared NumPy code on every tier.  Bulk array math goes through
+the active :class:`~repro.backend.ArrayBackend` handle.
+
 Determinism contract
 --------------------
-``np.bincount`` accumulates strictly in input order and the box is
-applied as a fixed sequence of slice additions, so the result is a pure
-function of the flattened stencil — bitwise reproducible across runs and
-across executor backends (the shard partition fixes the input order).
-The summation order *within* a node differs from the historical
+The scatter kernel accumulates strictly in flattened input order
+(particle-major, stencil-point-minor — ``np.bincount`` order; every
+registered tier honours it bitwise) and the box is applied as a fixed
+sequence of slice additions, so the result is a pure function of the
+flattened stencil — bitwise reproducible across runs, executor backends
+(the shard partition fixes the input order) and kernel tiers.  The
+summation order *within* a node differs from the historical
 ``np.add.at`` loop nest (particle-major here, offset-major there), so
 individual sums may differ from the old code in the last ulp; all
 consumers route through this one primitive, which preserves the
 cross-kernel equivalence properties by construction.  The property suite
 in ``tests/test_stencil.py`` pins the engine against an ``np.add.at``
-oracle.
+oracle on every registered tier.
 """
 
 from __future__ import annotations
@@ -56,8 +67,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.backend import Array, active_backend, active_kernels
 from repro.pic.shapes import combined_weights, shape_factors
 
 __all__ = [
@@ -65,20 +75,24 @@ __all__ = [
     "flat_node_ids",
     "scatter_flat",
     "cell_block_ids",
+    "box_geometry",
+    "box_segments",
+    "apply_box",
     "StencilOperator",
 ]
 
 
-def wrap_axis_indices(idx: np.ndarray, n: int, periodic: bool) -> np.ndarray:
+def wrap_axis_indices(idx: Array, n: int, periodic: bool) -> Array:
     """Wrap (periodic) or clamp (open boundary) node indices on one axis."""
+    xp = active_backend().xp
     if periodic:
-        return np.mod(idx, n)
-    return np.clip(idx, 0, n - 1)
+        return xp.mod(idx, n)
+    return xp.clip(idx, 0, n - 1)
 
 
 def flat_node_ids(shape: Tuple[int, int, int], periodic: Sequence[bool],
-                  base_x: np.ndarray, base_y: np.ndarray, base_z: np.ndarray,
-                  support: int) -> np.ndarray:
+                  base_x: Array, base_y: Array, base_z: Array,
+                  support: int) -> Array:
     """Row-major linear node ids of every stencil point, per particle.
 
     The wrapped per-axis indices are computed once for all ``support``
@@ -91,60 +105,89 @@ def flat_node_ids(shape: Tuple[int, int, int], periodic: Sequence[bool],
     (even far out-of-domain) base indices; the per-step hot paths use the
     bounding-box :class:`StencilOperator` fast path instead.
     """
+    backend = active_backend()
+    xp = backend.xp
     nx, ny, nz = shape
-    base_x = np.asarray(base_x, dtype=np.int64)
+    base_x = backend.asarray(base_x, dtype=backend.index_dtype)
     n = base_x.shape[0]
-    offsets = np.arange(support, dtype=np.int64)
+    offsets = xp.arange(support, dtype=backend.index_dtype)
     gx = wrap_axis_indices(base_x[:, None] + offsets, nx,
                            bool(periodic[0])) * (ny * nz)
-    gy = wrap_axis_indices(np.asarray(base_y, dtype=np.int64)[:, None]
-                           + offsets, ny, bool(periodic[1])) * nz
-    gz = wrap_axis_indices(np.asarray(base_z, dtype=np.int64)[:, None]
-                           + offsets, nz, bool(periodic[2]))
+    gy = wrap_axis_indices(
+        backend.asarray(base_y, dtype=backend.index_dtype)[:, None]
+        + offsets, ny, bool(periodic[1])) * nz
+    gz = wrap_axis_indices(
+        backend.asarray(base_z, dtype=backend.index_dtype)[:, None]
+        + offsets, nz, bool(periodic[2]))
     # staged like the weight tensor product: the small (n, S^2) xy plane
     # first, then one streaming pass over the full stencil
     plane = (gx[:, :, None] + gy[:, None, :]).reshape(n, support * support)
     return (plane[:, :, None] + gz[:, None, :]).reshape(n, support**3)
 
 
-def scatter_flat(flat_ids: np.ndarray, weights: np.ndarray, out: np.ndarray
-                 ) -> None:
+def scatter_flat(flat_ids: Array, weights: Array, out: Array) -> None:
     """Single-pass scatter-add of flattened stencil weights into ``out``.
 
-    ``flat_ids`` and ``weights`` have matching shapes; ``out`` is the dense
-    target array, addressed through its raveled (row-major) view.
+    ``flat_ids`` and ``weights`` have matching ``(n, m)`` shapes; ``out``
+    is the dense target array, addressed through its raveled (row-major)
+    view.  The accumulation pass dispatches to the active kernel tier.
     """
     if flat_ids.size == 0:
         return
-    acc = np.bincount(flat_ids.ravel(), weights=weights.ravel(),
-                      minlength=out.size)
+    acc = active_kernels().scatter(flat_ids, weights, None, out.size)
     out += acc.reshape(out.shape)
 
 
-def cell_block_ids(cell_ids: np.ndarray, nodes_per_cell: int) -> np.ndarray:
+def cell_block_ids(cell_ids: Array, nodes_per_cell: int) -> Array:
     """Flat ids into a ``(num_cells, nodes_per_cell)`` block layout.
 
     Row ``p`` addresses the ``nodes_per_cell`` consecutive entries of the
     block owned by ``cell_ids[p]`` — the rhocell accumulation pattern.
     """
-    cell_ids = np.asarray(cell_ids, dtype=np.int64)
+    backend = active_backend()
+    cell_ids = backend.asarray(cell_ids, dtype=backend.index_dtype)
     return (cell_ids[:, None] * nodes_per_cell
-            + np.arange(nodes_per_cell, dtype=np.int64)[None, :])
+            + backend.xp.arange(nodes_per_cell,
+                                dtype=backend.index_dtype)[None, :])
 
 
 # ---------------------------------------------------------------------------
 # bounding-box fast path
 # ---------------------------------------------------------------------------
 @lru_cache(maxsize=256)
-def _box_offsets(box_yz: Tuple[int, int], support: int) -> np.ndarray:
+def _box_offsets(box_yz: Tuple[int, int], support: int) -> Array:
     """The constant ``(support**3,)`` row-major box offset vector, cached."""
+    backend = active_backend()
     dy, dz = box_yz
-    offs = np.arange(support, dtype=np.int64)
+    offs = backend.xp.arange(support, dtype=backend.index_dtype)
     flat = (offs[:, None, None] * dy + offs[None, :, None]) * dz \
         + offs[None, None, :]
     flat = flat.reshape(support**3)
     flat.setflags(write=False)
     return flat
+
+
+def box_geometry(shape: Tuple[int, int, int],
+                 base_x: Array, base_y: Array, base_z: Array, support: int
+                 ) -> Optional[Tuple[Tuple[int, int, int],
+                                     Tuple[int, int, int]]]:
+    """Bounding box ``(lo, dims)`` of a batch's stencil footprint.
+
+    Returns ``None`` when any base index lies more than one stencil
+    width outside the domain: the box would grow unboundedly, so such
+    batches take the exact wrapped-space fallback instead.  Every
+    per-step caller stays in range because redistributed particles sit
+    within one stencil width of the domain.  An empty batch gets the
+    degenerate ``((0, 0, 0), (support,) * 3)`` box.
+    """
+    if base_x.shape[0] == 0:
+        return (0, 0, 0), (support, support, support)
+    lo = (int(base_x.min()), int(base_y.min()), int(base_z.min()))
+    hi = (int(base_x.max()), int(base_y.max()), int(base_z.max()))
+    if not all(lo[a] >= -support and hi[a] <= shape[a] for a in range(3)):
+        return None
+    dims = tuple(hi[a] - lo[a] + support for a in range(3))
+    return lo, dims  # type: ignore[return-value]
 
 
 def _axis_segments(lo: int, dim: int, n: int, periodic: bool
@@ -184,6 +227,37 @@ def _axis_segments(lo: int, dim: int, n: int, periodic: bool
     return segments
 
 
+def box_segments(box_lo: Tuple[int, int, int], box_dims: Tuple[int, int, int],
+                 shape: Tuple[int, int, int],
+                 periodic: Tuple[bool, bool, bool]) -> Tuple[List, ...]:
+    """Per-axis wrapped/clamped segment decomposition of a box."""
+    return tuple(
+        _axis_segments(box_lo[a], box_dims[a], shape[a], periodic[a])
+        for a in range(3)
+    )
+
+
+def apply_box(box: Array, segments: Tuple[List, ...], out: Array) -> None:
+    """Add a box accumulator onto the grid along its segment decomposition.
+
+    Shared by every scatter path — the :class:`StencilOperator` box
+    application and the fused three-component deposit — so boundary
+    handling is identical across kernel tiers by construction.
+    """
+    seg_x, seg_y, seg_z = segments
+    for bx, gx, cx in seg_x:
+        for by, gy, cy in seg_y:
+            for bz, gz, cz in seg_z:
+                piece = box[bx, by, bz]
+                if cx:
+                    piece = piece.sum(axis=0, keepdims=True)
+                if cy:
+                    piece = piece.sum(axis=1, keepdims=True)
+                if cz:
+                    piece = piece.sum(axis=2, keepdims=True)
+                out[gx, gy, gz] += piece
+
+
 class StencilOperator:
     """The flattened tensor-product stencil of one particle batch.
 
@@ -191,7 +265,7 @@ class StencilOperator:
     once, and applies them in either direction:
 
     * :meth:`scatter` — deposit ``amplitude[p] * weights[p, m]`` into a
-      dense grid array (one ``np.bincount`` pass per component),
+      dense grid array (one scatter-add kernel pass per component),
     * :meth:`scatter_values` — deposit precomputed per-stencil-point
       values (the rhocell cell->node reduction),
     * :meth:`gather` — interpolate a dense grid array back to the
@@ -210,15 +284,17 @@ class StencilOperator:
     Built from a :class:`~repro.pic.grid.Grid` plus positions
     (:meth:`for_grid`), from raw normalised positions (:meth:`for_box`,
     used by the grid-less PM/PME workloads), from precomputed shape data
-    (:meth:`from_shape_data`, the deposition staging path), or from bare
-    per-axis base indices (:meth:`from_bases`, the rhocell reduction).
+    (:meth:`from_shape_data`, the deposition staging path — this is
+    where the ``build_weights`` kernel of the active tier runs), or from
+    bare per-axis base indices (:meth:`from_bases`, the rhocell
+    reduction).
     """
 
     __slots__ = ("flat_ids", "weights", "shape", "periodic", "box_lo",
                  "box_dims", "num_particles", "_segments_cache")
 
-    def __init__(self, flat_ids: np.ndarray,
-                 weights: Optional[np.ndarray],
+    def __init__(self, flat_ids: Array,
+                 weights: Optional[Array],
                  shape: Tuple[int, int, int],
                  periodic: Tuple[bool, bool, bool],
                  box_lo: Optional[Tuple[int, int, int]],
@@ -237,32 +313,22 @@ class StencilOperator:
     # ------------------------------------------------------------------
     @classmethod
     def from_bases(cls, shape: Tuple[int, int, int], periodic: Sequence[bool],
-                   base_x: np.ndarray, base_y: np.ndarray, base_z: np.ndarray,
-                   support: int, weights: Optional[np.ndarray] = None
+                   base_x: Array, base_y: Array, base_z: Array,
+                   support: int, weights: Optional[Array] = None
                    ) -> "StencilOperator":
         """Build from per-axis base node indices (ids only by default)."""
+        backend = active_backend()
         shape = tuple(int(s) for s in shape)
         periodic = tuple(bool(p) for p in periodic)
-        base_x = np.asarray(base_x, dtype=np.int64)
-        base_y = np.asarray(base_y, dtype=np.int64)
-        base_z = np.asarray(base_z, dtype=np.int64)
-        n = base_x.shape[0]
-        if n == 0:
-            ids = np.empty((0, support**3), dtype=np.int64)
-            return cls(ids, weights, shape, periodic, (0, 0, 0),
-                       (support, support, support))
-        lo = (int(base_x.min()), int(base_y.min()), int(base_z.min()))
-        hi = (int(base_x.max()), int(base_y.max()), int(base_z.max()))
-        # keep the box tile-sized: bases within one stencil width of the
-        # domain (every per-step caller); anything wilder gets the exact
-        # wrapped-space fallback rather than an unbounded box
-        in_range = all(lo[a] >= -support and hi[a] <= shape[a]
-                       for a in range(3))
-        if not in_range:
+        base_x = backend.asarray(base_x, dtype=backend.index_dtype)
+        base_y = backend.asarray(base_y, dtype=backend.index_dtype)
+        base_z = backend.asarray(base_z, dtype=backend.index_dtype)
+        geometry = box_geometry(shape, base_x, base_y, base_z, support)
+        if geometry is None:
             ids = flat_node_ids(shape, periodic, base_x, base_y, base_z,
                                 support)
             return cls(ids, weights, shape, periodic, None, None)
-        dims = tuple(hi[a] - lo[a] + support for a in range(3))
+        lo, dims = geometry
         base = ((base_x - lo[0]) * dims[1] + (base_y - lo[1])) * dims[2] \
             + (base_z - lo[2])
         ids = base[:, None] + _box_offsets((dims[1], dims[2]), support)
@@ -271,20 +337,37 @@ class StencilOperator:
     @classmethod
     def from_shape_data(cls, shape: Tuple[int, int, int],
                         periodic: Sequence[bool],
-                        base_x: np.ndarray, base_y: np.ndarray,
-                        base_z: np.ndarray,
-                        wx: np.ndarray, wy: np.ndarray, wz: np.ndarray
+                        base_x: Array, base_y: Array, base_z: Array,
+                        wx: Array, wy: Array, wz: Array
                         ) -> "StencilOperator":
-        """Build from per-axis base indices and 1-D weights."""
-        support = wx.shape[1]
-        n = wx.shape[0]
-        weights = combined_weights(wx, wy, wz).reshape(n, support**3)
-        return cls.from_bases(shape, periodic, base_x, base_y, base_z,
-                              support, weights=weights)
+        """Build from per-axis base indices and 1-D weights.
+
+        The combined id/weight build dispatches to the active tier's
+        ``build_weights`` kernel on the bounding-box fast path; the
+        out-of-range fallback keeps the exact wrapped-space oracle
+        formulation on every tier.
+        """
+        backend = active_backend()
+        shape = tuple(int(s) for s in shape)
+        periodic = tuple(bool(p) for p in periodic)
+        n, support = wx.shape
+        base_x = backend.asarray(base_x, dtype=backend.index_dtype)
+        base_y = backend.asarray(base_y, dtype=backend.index_dtype)
+        base_z = backend.asarray(base_z, dtype=backend.index_dtype)
+        geometry = box_geometry(shape, base_x, base_y, base_z, support)
+        if geometry is None:
+            weights = combined_weights(wx, wy, wz).reshape(n, support**3)
+            ids = flat_node_ids(shape, periodic, base_x, base_y, base_z,
+                                support)
+            return cls(ids, weights, shape, periodic, None, None)
+        lo, dims = geometry
+        ids, weights = active_kernels().build_weights(
+            base_x, base_y, base_z, wx, wy, wz, lo, dims)
+        return cls(ids, weights, shape, periodic, lo, dims)
 
     @classmethod
     def for_box(cls, shape: Tuple[int, int, int], periodic: Sequence[bool],
-                xi: np.ndarray, yi: np.ndarray, zi: np.ndarray, order: int
+                xi: Array, yi: Array, zi: Array, order: int
                 ) -> "StencilOperator":
         """Build from grid-normalised positions on a bare index box."""
         base_x, wx = shape_factors(xi, order)
@@ -294,7 +377,7 @@ class StencilOperator:
                                    wx, wy, wz)
 
     @classmethod
-    def for_grid(cls, grid, x: np.ndarray, y: np.ndarray, z: np.ndarray,
+    def for_grid(cls, grid, x: Array, y: Array, z: Array,
                  order: int) -> "StencilOperator":
         """Build from physical positions on a :class:`~repro.pic.grid.Grid`."""
         xi, yi, zi = grid.normalized_position(x, y, z)
@@ -303,36 +386,22 @@ class StencilOperator:
     # ------------------------------------------------------------------
     # box <-> grid transfer
     # ------------------------------------------------------------------
-    def _segments(self) -> Tuple[List, List, List]:
+    def _segments(self) -> Tuple[List, ...]:
         if self._segments_cache is None:
-            self._segments_cache = tuple(
-                _axis_segments(self.box_lo[a], self.box_dims[a],
-                               self.shape[a], self.periodic[a])
-                for a in range(3)
-            )
+            self._segments_cache = box_segments(self.box_lo, self.box_dims,
+                                                self.shape, self.periodic)
         return self._segments_cache
 
-    def _apply_box(self, box: np.ndarray, out: np.ndarray) -> None:
+    def _apply_box(self, box: Array, out: Array) -> None:
         """Add the box accumulator onto the grid (wrap/clamp per axis)."""
-        seg_x, seg_y, seg_z = self._segments()
-        for bx, gx, cx in seg_x:
-            for by, gy, cy in seg_y:
-                for bz, gz, cz in seg_z:
-                    piece = box[bx, by, bz]
-                    if cx:
-                        piece = piece.sum(axis=0, keepdims=True)
-                    if cy:
-                        piece = piece.sum(axis=1, keepdims=True)
-                    if cz:
-                        piece = piece.sum(axis=2, keepdims=True)
-                    out[gx, gy, gz] += piece
+        apply_box(box, self._segments(), out)
 
-    def box_accumulate(self, values: np.ndarray) -> np.ndarray:
+    def box_accumulate(self, values: Array) -> Array:
         """The dense bounding-box accumulation of per-stencil-point values.
 
         This is the first half of :meth:`scatter_values` on the fast path:
-        one ``np.bincount`` pass over the flattened stencil, *before* the
-        box is folded onto any grid.  The domain-decomposed deposition
+        one scatter-add kernel pass over the flattened stencil, *before*
+        the box is folded onto any grid.  The domain-decomposed deposition
         uses it to compute each tile's contribution once and then apply
         it to every subdomain window it overlaps
         (:meth:`add_box_to_window`) — the ghost/seam reduction.
@@ -346,21 +415,34 @@ class StencilOperator:
                 "box_accumulate requires the bounding-box fast path "
                 "(bases within one stencil width of the domain)"
             )
-        return np.bincount(
-            self.flat_ids.ravel(), weights=values.ravel(),
-            minlength=int(np.prod(self.box_dims)),
-        ).reshape(self.box_dims)
+        size = int(self.box_dims[0]) * int(self.box_dims[1]) \
+            * int(self.box_dims[2])
+        return active_kernels().scatter(
+            self.flat_ids, values, None, size).reshape(self.box_dims)
 
-    def scatter_box(self, amplitude: Optional[np.ndarray]) -> np.ndarray:
-        """Bounding-box accumulation of ``amplitude[p] * weights[p, m]``."""
+    def scatter_box(self, amplitude: Optional[Array]) -> Array:
+        """Bounding-box accumulation of ``amplitude[p] * weights[p, m]``.
+
+        The amplitude scaling is fused into the scatter kernel, so a
+        compiled tier never materialises the ``(n, support**3)``
+        contribution temporary.
+        """
+        if self.box_dims is None:
+            raise ValueError(
+                "scatter_box requires the bounding-box fast path "
+                "(bases within one stencil width of the domain)"
+            )
         if amplitude is None:
             return self.box_accumulate(self.weights)
-        return self.box_accumulate(
-            np.asarray(amplitude)[:, None] * self.weights)
+        size = int(self.box_dims[0]) * int(self.box_dims[1]) \
+            * int(self.box_dims[2])
+        return active_kernels().scatter(
+            self.flat_ids, self.weights, amplitude, size
+        ).reshape(self.box_dims)
 
-    def add_box_to_window(self, box: np.ndarray,
+    def add_box_to_window(self, box: Array,
                           window_lo: Tuple[int, int, int],
-                          out: np.ndarray) -> None:
+                          out: Array) -> None:
         """Add a :meth:`box_accumulate` result onto a sub-window of the grid.
 
         ``out`` is a dense array covering the global cell window starting
@@ -397,32 +479,24 @@ class StencilOperator:
             if not axis_out:
                 return  # the box misses the window entirely on this axis
             clipped.append(axis_out)
-        for bx, gx, cx in clipped[0]:
-            for by, gy, cy in clipped[1]:
-                for bz, gz, cz in clipped[2]:
-                    piece = box[bx, by, bz]
-                    if cx:
-                        piece = piece.sum(axis=0, keepdims=True)
-                    if cy:
-                        piece = piece.sum(axis=1, keepdims=True)
-                    if cz:
-                        piece = piece.sum(axis=2, keepdims=True)
-                    out[gx, gy, gz] += piece
+        apply_box(box, tuple(clipped), out)
 
-    def _extract_box(self, field: np.ndarray) -> np.ndarray:
+    def _extract_box(self, field: Array) -> Array:
         """The wrapped/clamped box view of a field, for the gather."""
+        backend = active_backend()
         idx = tuple(
             wrap_axis_indices(
-                self.box_lo[a] + np.arange(self.box_dims[a], dtype=np.int64),
+                self.box_lo[a] + backend.xp.arange(
+                    self.box_dims[a], dtype=backend.index_dtype),
                 self.shape[a], self.periodic[a])
             for a in range(3)
         )
-        return field[np.ix_(*idx)]
+        return field[backend.xp.ix_(*idx)]
 
     # ------------------------------------------------------------------
     # application
     # ------------------------------------------------------------------
-    def scatter_values(self, values: np.ndarray, out: np.ndarray) -> None:
+    def scatter_values(self, values: Array, out: Array) -> None:
         """Add per-stencil-point ``values`` (shape ``(n, S^3)``) to ``out``."""
         if self.num_particles == 0:
             return
@@ -431,8 +505,7 @@ class StencilOperator:
             return
         self._apply_box(self.box_accumulate(values), out)
 
-    def scatter(self, amplitude: Optional[np.ndarray], out: np.ndarray
-                ) -> None:
+    def scatter(self, amplitude: Optional[Array], out: Array) -> None:
         """Add ``amplitude[p] * weights[p, m]`` to the dense array ``out``.
 
         ``amplitude`` is a per-particle factor (charge/current term); pass
@@ -440,26 +513,34 @@ class StencilOperator:
         """
         if self.num_particles == 0:
             return
-        if amplitude is None:
-            contributions = self.weights
-        else:
-            contributions = np.asarray(amplitude)[:, None] * self.weights
-        self.scatter_values(contributions, out)
+        if self.box_dims is None:
+            if amplitude is None:
+                contributions = self.weights
+            else:
+                contributions = active_backend().asarray(
+                    amplitude)[:, None] * self.weights
+            scatter_flat(self.flat_ids, contributions, out)
+            return
+        self._apply_box(self.scatter_box(amplitude), out)
 
-    def gather(self, field: np.ndarray) -> np.ndarray:
+    def gather(self, field: Array) -> Array:
         """Interpolate ``field`` to the particles (adjoint of scatter).
 
         The multiply-reduce is fused (``einsum``) so no ``(n, S^3)``
-        product temporary is materialised per component.
+        product temporary is materialised per component.  The reduction
+        is deliberately *not* tier-dispatched: einsum's pairwise
+        accumulation order is not reproducible by a sequential compiled
+        loop, so every tier shares this one reduce (compiled tiers
+        accelerate the id/weight build instead).
         """
+        xp = active_backend().xp
         if self.num_particles == 0:
-            return np.empty(0)
+            return xp.empty(0)
         source = (field if self.box_dims is None
                   else self._extract_box(field))
-        return np.einsum("pn,pn->p", source.reshape(-1)[self.flat_ids],
+        return xp.einsum("pn,pn->p", source.reshape(-1)[self.flat_ids],
                          self.weights)
 
-    def gather_many(self, fields: Sequence[np.ndarray]
-                    ) -> Tuple[np.ndarray, ...]:
+    def gather_many(self, fields: Sequence[Array]) -> Tuple[Array, ...]:
         """Interpolate several field components through the shared stencil."""
         return tuple(self.gather(field) for field in fields)

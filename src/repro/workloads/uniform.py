@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro import constants
+from repro.backend import BackendConfig
 from repro.config import (
     DomainConfig,
     ExecutionConfig,
@@ -53,6 +54,8 @@ class UniformPlasmaWorkload:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     #: (px, py, pz) domain decomposition of the grid (:mod:`repro.domain`)
     domains: Tuple[int, int, int] = (1, 1, 1)
+    #: array backend and kernel tier (:mod:`repro.backend`)
+    backend: BackendConfig = field(default_factory=BackendConfig)
     seed: int = 2026
 
     def ppc_triple(self) -> Tuple[int, int, int]:
@@ -99,6 +102,7 @@ class UniformPlasmaWorkload:
             sorting=self.sorting,
             execution=self.execution,
             domain=DomainConfig(domains=self.domains),
+            backend=self.backend,
             seed=self.seed,
         )
 

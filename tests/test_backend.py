@@ -1,0 +1,364 @@
+"""Tests for the pluggable array-backend layer (:mod:`repro.backend`).
+
+Covers the kernel registry (tier listing, auto-selection, strict explicit
+selection, inheritance from the oracle), the missing-numba fallback
+(faked ImportError, logged exactly once, silent to callers), the
+bitwise-parity contract between the fused kernel implementations and the
+oracle (runnable without numba: the ``_impl`` loop bodies are plain
+Python functions), and the configuration plumbing — ``BackendConfig`` on
+``SimulationConfig``/workloads, the ``Session(backend=...)`` knob, the
+``REPRO_KERNEL_TIER`` environment override, the ``kernel_tier`` field of
+``RuntimeBreakdown`` and the numerics-tag normalisation of campaign
+cache keys.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+import sys
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BackendConfig,
+    KERNEL_NAMES,
+    KERNEL_TIER_ENV,
+    KernelRegistry,
+    KernelTier,
+    NumpyBackend,
+    activate,
+    active_backend,
+    active_kernels,
+    kernel_registry,
+    use_backend,
+)
+from repro.backend import kernels_numba, kernels_oracle
+from repro.backend.registry import NUMERICS_FLAT_V1
+from repro.pic.shapes import shape_factors, shape_support
+
+
+def _random_shape_data(rng, shape, n, order):
+    """In-range base indices and 1-D weights plus the bounding box."""
+    support = shape_support(order)
+    xi = rng.uniform(0.0, shape[0], n)
+    yi = rng.uniform(0.0, shape[1], n)
+    zi = rng.uniform(0.0, shape[2], n)
+    base_x, wx = shape_factors(xi, order)
+    base_y, wy = shape_factors(yi, order)
+    base_z, wz = shape_factors(zi, order)
+    lo = (int(base_x.min()), int(base_y.min()), int(base_z.min()))
+    hi = (int(base_x.max()), int(base_y.max()), int(base_z.max()))
+    dims = tuple(hi[a] - lo[a] + support for a in range(3))
+    return base_x, base_y, base_z, wx, wy, wz, lo, dims
+
+
+def _registry_with_builtin_wiring():
+    """A fresh registry mirroring the module-level tier registration."""
+    reg = KernelRegistry()
+    reg.register(KernelTier(
+        name="oracle", numerics=NUMERICS_FLAT_V1, priority=0,
+        kernels={
+            "build_weights": kernels_oracle.build_weights,
+            "scatter": kernels_oracle.scatter,
+            "scatter3": kernels_oracle.scatter3,
+            "gather6": kernels_oracle.gather6,
+            "fdtd_roll": kernels_oracle.fdtd_roll,
+        },
+    ))
+    reg.register(KernelTier(
+        name="fused", numerics=NUMERICS_FLAT_V1, priority=10,
+        kernels={
+            "build_weights": kernels_numba.build_weights,
+            "scatter": kernels_numba.scatter,
+            "scatter3": kernels_numba.scatter3,
+        },
+        is_available=kernels_numba.available,
+        unavailable_reason=kernels_numba.unavailable_reason,
+    ))
+    return reg
+
+
+class TestRegistry:
+    def test_builtin_tiers_registered_best_first(self):
+        names = kernel_registry.tier_names()
+        assert names.index("fused") < names.index("oracle")
+
+    def test_oracle_always_available(self):
+        assert "oracle" in kernel_registry.available_tier_names()
+
+    def test_auto_resolves_to_best_available(self):
+        resolved = kernel_registry.resolve("auto")
+        assert resolved.tier == kernel_registry.available_tier_names()[0]
+        assert resolved.numerics == NUMERICS_FLAT_V1
+
+    def test_unknown_tier_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            kernel_registry.resolve("no-such-tier")
+
+    def test_explicit_unavailable_tier_is_an_error(self):
+        if kernels_numba.available():
+            pytest.skip("numba installed: fused tier is available")
+        with pytest.raises(ValueError, match="not available"):
+            kernel_registry.resolve("fused")
+
+    def test_tier_rejects_unknown_kernel_names(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            KernelTier(name="bogus", numerics="x", priority=1,
+                       kernels={"not_a_kernel": lambda: None})
+
+    def test_fused_inherits_oracle_gather_and_roll(self):
+        reg = _registry_with_builtin_wiring()
+        if not kernels_numba.available():
+            pytest.skip("numba missing: fused tier cannot resolve")
+        resolved = reg.resolve("fused")
+        assert resolved.gather6 is kernels_oracle.gather6
+        assert resolved.fdtd_roll is kernels_oracle.fdtd_roll
+
+    def test_oracle_dispatch_table_is_complete(self):
+        resolved = kernel_registry.resolve("oracle")
+        for name in KERNEL_NAMES:
+            if name == "scatter3":
+                assert resolved.scatter3 is None  # stencil path is the ref
+            else:
+                assert callable(getattr(resolved, name))
+
+
+class TestMissingNumbaFallback:
+    def test_faked_import_error_disables_tier_and_logs_once(self, caplog):
+        """With numba unimportable the fused tier silently drops out of
+        auto-selection; the skip is logged exactly once per registry."""
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setitem(sys.modules, "numba", None)  # forces ImportError
+            importlib.reload(kernels_numba)
+            assert not kernels_numba.available()
+            assert "numba is not importable" in \
+                kernels_numba.unavailable_reason()
+            assert "[jit]" in kernels_numba.unavailable_reason()
+
+            reg = _registry_with_builtin_wiring()
+            with caplog.at_level(logging.INFO, logger="repro.backend"):
+                assert reg.resolve("auto").tier == "oracle"
+                first = [r for r in caplog.records if "fused" in r.getMessage()]
+                assert len(first) == 1
+                # a second auto resolution does not log again
+                reg2 = KernelRegistry()
+                for name in ("oracle", "fused"):
+                    reg2.register(_registry_with_builtin_wiring().tier(name))
+                caplog.clear()
+                reg.resolve("auto")
+                assert not [r for r in caplog.records
+                            if "fused" in r.getMessage()]
+        # restore the real import state for the rest of the suite
+        importlib.reload(kernels_numba)
+
+    def test_plain_python_kernels_still_work_without_numba(self):
+        """The kernel wrappers stay callable (and correct) with the jit
+        decoration skipped — the substance of the silent fallback."""
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setitem(sys.modules, "numba", None)
+            importlib.reload(kernels_numba)
+            ids = np.array([[0, 1], [1, 2]])
+            weights = np.array([[1.0, 2.0], [3.0, 4.0]])
+            out = kernels_numba.scatter(ids, weights, None, 4)
+            assert out.tolist() == [1.0, 5.0, 4.0, 0.0]
+        importlib.reload(kernels_numba)
+
+
+class TestFusedBitwiseParity:
+    """The fused kernels equal the oracle *bitwise*.
+
+    These run the fused loop bodies as plain Python when numba is
+    missing (identical arithmetic, just slow), so the contract is pinned
+    in every environment; the CI [jit] leg re-runs them compiled.
+    """
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_build_weights_bitwise(self, order):
+        rng = np.random.default_rng(order)
+        args = _random_shape_data(rng, (6, 7, 5), 80, order)
+        ids_o, wts_o = kernels_oracle.build_weights(*args)
+        ids_f, wts_f = kernels_numba.build_weights(*args)
+        assert np.array_equal(ids_o, ids_f)
+        assert np.array_equal(wts_o, wts_f)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    @pytest.mark.parametrize("with_amplitude", [False, True])
+    def test_scatter_bitwise(self, order, with_amplitude):
+        rng = np.random.default_rng(10 + order)
+        args = _random_shape_data(rng, (6, 6, 6), 70, order)
+        ids, wts = kernels_oracle.build_weights(*args)
+        size = int(np.prod(args[7]))
+        amplitude = rng.normal(size=70) if with_amplitude else None
+        out_o = kernels_oracle.scatter(ids, wts, amplitude, size)
+        out_f = kernels_numba.scatter(ids, wts, amplitude, size)
+        assert np.array_equal(out_o, out_f)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_scatter3_bitwise_vs_componentwise_oracle(self, order):
+        """The fully fused three-component deposit equals three oracle
+        amplitude scatters over the shared stencil, bitwise."""
+        rng = np.random.default_rng(20 + order)
+        n = 60
+        base_x, base_y, base_z, wx, wy, wz, lo, dims = \
+            _random_shape_data(rng, (5, 6, 7), n, order)
+        ax, ay, az = (rng.normal(size=n) for _ in range(3))
+        ids, wts = kernels_oracle.build_weights(
+            base_x, base_y, base_z, wx, wy, wz, lo, dims)
+        size = int(np.prod(dims))
+        boxes = kernels_numba.scatter3(base_x, base_y, base_z, wx, wy, wz,
+                                       ax, ay, az, lo, dims)
+        for amp, box in zip((ax, ay, az), boxes):
+            expected = kernels_oracle.scatter(ids, wts, amp, size)
+            assert np.array_equal(expected, box.reshape(-1))
+
+    def test_empty_batch_guards(self):
+        empty_i = np.empty((0,), dtype=np.int64)
+        empty_w = np.empty((0, 2))
+        ids, wts = kernels_numba.build_weights(
+            empty_i, empty_i, empty_i, empty_w, empty_w, empty_w,
+            (0, 0, 0), (2, 2, 2))
+        assert ids.shape == (0, 8) and wts.shape == (0, 8)
+        out = kernels_numba.scatter(np.empty((0, 8), dtype=np.int64),
+                                    np.empty((0, 8)), None, 8)
+        assert out.shape == (8,) and not out.any()
+
+
+class TestActivation:
+    def test_default_activation_is_numpy_oracle(self):
+        with use_backend(None) as selection:
+            assert selection.backend.name == "numpy"
+            assert selection.kernel_tier == \
+                kernel_registry.available_tier_names()[0]
+            assert active_backend() is selection.backend
+            assert active_kernels() is selection.kernels
+
+    def test_string_coerces_to_kernel_tier(self):
+        with use_backend("oracle") as selection:
+            assert selection.kernel_tier == "oracle"
+            assert selection.config == BackendConfig(kernel_tier="oracle")
+
+    def test_use_backend_restores_previous_selection(self):
+        before = activate(BackendConfig())
+        with use_backend("oracle"):
+            pass
+        assert active_kernels() is before.kernels
+
+    def test_unknown_array_backend_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            activate(BackendConfig(array_backend="cupy"))
+
+    def test_invalid_config_type_is_an_error(self):
+        with pytest.raises(TypeError):
+            activate(3.14)
+
+    def test_numpy_backend_allocation_policy(self):
+        backend = NumpyBackend()
+        assert backend.xp is np
+        assert backend.zeros((2, 3)).dtype == np.float64
+        assert backend.empty(4, dtype=np.int64).dtype == np.int64
+        assert backend.asarray([1, 2], dtype=backend.index_dtype).dtype \
+            == np.int64
+
+    def test_env_override_applies_to_auto_only(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_TIER_ENV, "oracle")
+        with use_backend(BackendConfig()) as selection:
+            assert selection.kernel_tier == "oracle"
+        # an explicitly configured tier wins over the environment
+        monkeypatch.setenv(KERNEL_TIER_ENV, "no-such-tier")
+        with use_backend(BackendConfig(kernel_tier="oracle")) as selection:
+            assert selection.kernel_tier == "oracle"
+
+    def test_env_override_is_strict(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_TIER_ENV, "no-such-tier")
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            with use_backend(BackendConfig()):
+                pass  # pragma: no cover
+
+
+class TestConfigPlumbing:
+    def test_simulation_config_carries_backend(self):
+        from repro.config import GridConfig, SimulationConfig
+
+        config = SimulationConfig(grid=GridConfig(n_cell=(4, 4, 4)))
+        assert config.backend == BackendConfig()
+        updated = config.with_updates(
+            backend=BackendConfig(kernel_tier="oracle"))
+        assert updated.backend.kernel_tier == "oracle"
+
+    def test_session_backend_knob_and_breakdown_tier(self):
+        from repro.workloads.uniform import UniformPlasmaWorkload
+
+        workload = UniformPlasmaWorkload(n_cell=(4, 4, 4),
+                                         tile_size=(4, 4, 4),
+                                         ppc=1, max_steps=1)
+        from repro.api import Session
+
+        with Session.from_workload(workload, backend="oracle") as session:
+            assert session.config.backend.kernel_tier == "oracle"
+            session.run_all(1)
+            assert session.breakdown.kernel_tier == "oracle"
+
+    def test_session_rejects_bad_backend_argument(self):
+        from repro.api import _coerce_backend
+
+        with pytest.raises(TypeError):
+            _coerce_backend(42)
+
+    def test_workloads_carry_backend_config(self):
+        from repro.workloads.lwfa import LWFAWorkload
+        from repro.workloads.uniform import UniformPlasmaWorkload
+
+        for cls in (UniformPlasmaWorkload, LWFAWorkload):
+            workload = cls(backend=BackendConfig(kernel_tier="oracle"))
+            assert workload.build_config().backend.kernel_tier == "oracle"
+
+    def test_campaign_rebuilds_nested_backend(self):
+        from repro.analysis.campaign import build_workload
+
+        workload = build_workload("uniform", {
+            "ppc": 8,
+            "backend": {"array_backend": "numpy", "kernel_tier": "oracle"},
+        })
+        assert workload.backend == BackendConfig(kernel_tier="oracle")
+
+
+class TestCacheKeyNumericsTag:
+    def _spec(self, kernel_tier):
+        import dataclasses
+
+        from repro.analysis.campaign import spec_for_workload
+        from repro.workloads.uniform import UniformPlasmaWorkload
+
+        workload = UniformPlasmaWorkload(
+            ppc=8, backend=BackendConfig(kernel_tier=kernel_tier))
+        spec = spec_for_workload(workload, "Baseline", steps=1)
+        assert dataclasses.asdict(workload)["backend"][
+            "kernel_tier"] == kernel_tier
+        return spec
+
+    def test_bitwise_equal_tiers_share_cache_keys(self):
+        """'oracle', 'auto' and (when available) 'fused' all resolve to
+        the flat-index numerics tag, so their results share one cache
+        entry — different tiers must not collide *unless* bitwise equal,
+        and the built-ins are."""
+        keys = {self._spec(tier).cache_key()
+                for tier in ("oracle", "auto")
+                + (("fused",) if kernels_numba.available() else ())}
+        assert len(keys) == 1
+
+    def test_different_numerics_get_different_keys(self):
+        """A tier with a different numerics tag cannot replay flat-index
+        results from the cache."""
+        tier_name = "test-different-numerics"
+        kernel_registry.register(
+            KernelTier(name=tier_name, numerics="test-numerics-v2",
+                       priority=-100), replace=True)
+        assert kernel_registry.numerics_tag(tier_name) == "test-numerics-v2"
+        assert self._spec(tier_name).cache_key() != \
+            self._spec("oracle").cache_key()
+
+    def test_numerics_tag_of_auto_matches_oracle(self):
+        assert kernel_registry.numerics_tag("auto") == \
+            kernel_registry.numerics_tag("oracle")

@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.backend import BackendConfig, kernel_registry, use_backend
 from repro.config import GridConfig
 from repro.exec import (
     ProcessShardExecutor,
@@ -299,6 +300,65 @@ class TestConsumers:
         vpu.scatter_add(target, np.array([1, 1, 5]), 2.0)
         assert target[1] == pytest.approx(4.0)
         assert target[5] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# kernel-tier parity (repro.backend): every *available* registered tier
+# must reproduce the oracle — the fused tier bitwise.  In a no-numba
+# environment only the oracle tier is available and these parametrize
+# down to it; the CI [jit] leg runs them with the fused tier too.
+# ----------------------------------------------------------------------
+AVAILABLE_TIERS = kernel_registry.available_tier_names()
+
+
+class TestKernelTierParity:
+    @pytest.mark.parametrize("tier", AVAILABLE_TIERS)
+    @settings(max_examples=25, deadline=None)
+    @given(shape=_shapes, periodic=_periodics,
+           order=st.sampled_from([1, 2, 3]), n=st.integers(0, 90),
+           seed=st.integers(0, 2**31), out_of_domain=st.booleans())
+    def test_scatter_matches_addat_oracle_on_tier(self, tier, shape, periodic,
+                                                  order, n, seed,
+                                                  out_of_domain):
+        """Every registered tier passes the np.add.at property pin, over
+        periodic wraps, clamped boundaries, far out-of-domain fallback
+        positions and empty batches."""
+        rng = np.random.default_rng(seed)
+        xi, yi, zi, amplitude = _random_batch(rng, shape, n, out_of_domain)
+        expected = oracle_scatter(shape, periodic, xi, yi, zi, order,
+                                  amplitude)
+        out = np.zeros(shape)
+        with use_backend(BackendConfig(kernel_tier=tier)):
+            op = StencilOperator.for_box(shape, periodic, xi, yi, zi, order)
+            op.scatter(amplitude, out)
+        bound = oracle_scatter(shape, periodic, xi, yi, zi, order,
+                               np.abs(amplitude))
+        tol = 64 * np.finfo(float).eps * (bound + bound.max())
+        np.testing.assert_array_less(np.abs(out - expected), tol + 1e-300)
+
+    @pytest.mark.parametrize("tier", AVAILABLE_TIERS)
+    @settings(max_examples=25, deadline=None)
+    @given(shape=_shapes, periodic=_periodics,
+           order=st.sampled_from([1, 2, 3]), n=st.integers(0, 90),
+           seed=st.integers(0, 2**31))
+    def test_tier_bitwise_identical_to_oracle_tier(self, tier, shape,
+                                                   periodic, order, n, seed):
+        """Cross-tier *bitwise* pin: scatter, rho-style amplitude scatter
+        and gather on any available tier equal the oracle tier exactly."""
+        rng = np.random.default_rng(seed)
+        xi, yi, zi, amplitude = _random_batch(rng, shape, n)
+        field = rng.normal(0.0, 1.0, shape)
+        results = {}
+        for name in ("oracle", tier):
+            with use_backend(BackendConfig(kernel_tier=name)):
+                op = StencilOperator.for_box(shape, periodic, xi, yi, zi,
+                                             order)
+                out = np.zeros(shape)
+                op.scatter(amplitude, out)
+                results[name] = (op.flat_ids.copy(), op.weights.copy(),
+                                 out, op.gather(field))
+        for ref, got in zip(results["oracle"], results[tier]):
+            assert np.array_equal(ref, got)
 
 
 # ----------------------------------------------------------------------
