@@ -34,7 +34,16 @@ import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.backend import kernels_numba, kernels_oracle
 from repro.backend.base import (
@@ -115,7 +124,7 @@ class KernelRegistry:
     def __init__(self) -> None:
         self._tiers: Dict[str, KernelTier] = {}
         self._resolved: Dict[str, ActiveKernels] = {}
-        self._fallback_logged: set = set()
+        self._fallback_logged: Set[str] = set()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -177,7 +186,7 @@ class KernelRegistry:
         return resolved
 
     def _resolve_auto(self) -> KernelTier:
-        chosen = None
+        chosen: Optional[KernelTier] = None
         for name in self.tier_names():
             tier = self._tiers[name]
             if tier.is_available():
@@ -302,7 +311,11 @@ class BackendSelection:
 _active: Optional[BackendSelection] = None
 
 
-def _coerce_config(value) -> BackendConfig:
+#: accepted forms of a backend selection request
+ConfigLike = Union[BackendConfig, str, None]
+
+
+def _coerce_config(value: ConfigLike) -> BackendConfig:
     if value is None:
         return BackendConfig()
     if isinstance(value, BackendConfig):
@@ -315,7 +328,7 @@ def _coerce_config(value) -> BackendConfig:
     )
 
 
-def activate(config=None) -> BackendSelection:
+def activate(config: ConfigLike = None) -> BackendSelection:
     """Resolve and install the process-wide backend selection.
 
     ``config`` is a :class:`~repro.backend.base.BackendConfig`, a bare
@@ -363,7 +376,7 @@ def active_kernels() -> ActiveKernels:
 
 
 @contextmanager
-def use_backend(config):
+def use_backend(config: ConfigLike) -> Iterator[BackendSelection]:
     """Context manager scoping a backend selection (tests, benchmarks)."""
     global _active
     previous = _active

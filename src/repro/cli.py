@@ -230,6 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--format", choices=("table", "json"), default="table",
                      help="output format (default: table)")
     run.set_defaults(func=cmd_run)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repository's static invariant checkers",
+        description="AST/introspection analyzers enforcing the backend, "
+                    "determinism, stage-effect, spec-purity and "
+                    "API-surface contracts; exits 1 on any finding.",
+    )
+    lint.add_argument("--format", choices=("table", "json"),
+                      default="table",
+                      help="output format (default: table)")
+    lint.add_argument("--rules", type=_comma_list, default=None,
+                      metavar="RULE[,RULE...]",
+                      help="run only these analyzers (default: all)")
+    lint.add_argument("--root", default=None,
+                      help="repository root to scan (default: "
+                           "autodetected from the installed package)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered analyzers and exit")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 
@@ -444,6 +464,27 @@ def cmd_run(args, stdout=None) -> int:
         print(f"relative energy drift: "
               f"{payload['relative_energy_drift']:.3e}", file=stdout)
     return 0
+
+
+def cmd_lint(args, stdout=None) -> int:
+    """Entry point of the ``lint`` subcommand."""
+    from pathlib import Path
+
+    from repro.tools import analyzer_names, format_findings, run_lint
+
+    stdout = stdout if stdout is not None else sys.stdout
+    if args.list_rules:
+        for name in analyzer_names():
+            print(name, file=stdout)
+        return 0
+    root = Path(args.root) if args.root is not None else None
+    try:
+        findings = run_lint(root=root, rules=args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(findings, fmt=args.format), file=stdout)
+    return 1 if findings else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

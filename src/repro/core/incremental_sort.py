@@ -19,7 +19,7 @@ memory coherence that the index-only incremental updates cannot provide.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -33,7 +33,7 @@ interpreter overhead).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.domain.decomposition import Decomposition
 
 
@@ -28,9 +29,10 @@ class MigrationStats:
         #: particles whose destination tile lies in another subdomain
         self.migrated_particles = 0
         #: migrations per (source domain, destination domain) pair
-        self.pair_counts: np.ndarray = np.zeros(
+        backend = active_backend()
+        self.pair_counts: np.ndarray = backend.zeros(
             (decomposition.num_domains, decomposition.num_domains),
-            dtype=np.int64,
+            dtype=backend.index_dtype,
         )
 
     # ------------------------------------------------------------------

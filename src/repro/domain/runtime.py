@@ -589,6 +589,10 @@ class DomainSyncStage:
 
     name = "sync_frame"
     bucket = "other"
+    reads = frozenset({"grid.fields", "grid.currents", "domain.seeded"})
+    writes = frozenset({
+        "domain.seeded", "domain.slabs.fields", "domain.slabs.currents",
+    })
 
     def run(self, ctx) -> None:
         ctx.domain.sync_from_frame_once(ctx.grid)
@@ -603,6 +607,8 @@ class HaloExchangeStage:
 
     name = "halo_exchange"
     bucket = "field_gather_push"
+    reads = frozenset({"domain.slabs.fields"})
+    writes = frozenset({"domain.halos"})
 
     def run(self, ctx) -> None:
         ctx.domain.halo.exchange(EM_FIELDS, mode="boundary")
@@ -613,6 +619,12 @@ class DomainGatherPushStage:
 
     name = "gather_push"
     bucket = "field_gather_push"
+    reads = frozenset({
+        "domain.slabs.fields", "domain.halos", "domain.geometry",
+        "containers.position", "containers.momentum",
+        "containers.membership", "simulation.pusher", "dt", "executor",
+    })
+    writes = frozenset({"containers.position", "containers.momentum"})
 
     def run(self, ctx) -> None:
         for container in ctx.containers:
@@ -630,6 +642,15 @@ class DomainDepositStage:
 
     name = "deposit"
     bucket = "current_deposition"
+    reads = frozenset({
+        "containers.position", "containers.momentum",
+        "containers.membership", "grid.geometry", "domain.geometry",
+        "executor", "simulation.deposition", "step_index",
+    })
+    writes = frozenset({
+        "domain.slabs.currents", "grid.currents",
+        "simulation.deposition_counters",
+    })
 
     def run(self, ctx) -> None:
         from repro.pic.simulation import ReferenceDeposition
@@ -658,6 +679,10 @@ class DomainLaserStage:
 
     name = "laser"
     bucket = "field_solve"
+    reads = frozenset({
+        "domain.geometry", "simulation.laser", "simulation.time", "dt",
+    })
+    writes = frozenset({"domain.slabs.fields"})
 
     def run(self, ctx) -> None:
         if ctx.simulation.laser is not None:
@@ -669,6 +694,11 @@ class DomainSolveStage:
 
     name = "solve"
     bucket = "field_solve"
+    reads = frozenset({
+        "domain.solvers", "domain.slabs.currents", "domain.slabs.fields",
+        "domain.halos", "simulation.solver", "dt",
+    })
+    writes = frozenset({"domain.slabs.fields", "domain.halos"})
 
     def run(self, ctx) -> None:
         if ctx.domain.solvers:
@@ -680,6 +710,10 @@ class DomainBoundaryStage:
 
     name = "boundary"
     bucket = "field_solve"
+    reads = frozenset({
+        "domain.solvers", "domain.geometry", "simulation.boundaries",
+    })
+    writes = frozenset({"domain.slabs.fields"})
 
     def run(self, ctx) -> None:
         if ctx.domain.solvers:

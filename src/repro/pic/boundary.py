@@ -25,6 +25,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.config import GridConfig
 from repro.pic.grid import Grid
 
@@ -92,7 +93,7 @@ class FieldBoundaryConditions:
         profile = self._profiles.get(n)
         if profile is None:
             layer = min(self.damping_cells, n // 2)
-            profile = np.ones(n)
+            profile = active_backend().xp.ones(n)
             if layer > 0:
                 ramp = np.linspace(1.0, 0.0, layer, endpoint=False)[::-1]
                 damping = np.exp(-self.damping_strength * ramp**2)
@@ -135,6 +136,10 @@ class FieldBoundaryStage:
 
     name = "boundary"
     bucket = "field_solve"
+    reads = frozenset({
+        "grid.geometry", "simulation.solver", "simulation.boundaries",
+    })
+    writes = frozenset({"grid.fields"})
 
     def run(self, ctx) -> None:
         simulation = ctx.simulation

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.hardware.counters import KernelCounters
 from repro.pic.deposition.base import (
     DepositionKernel,
@@ -54,9 +55,10 @@ def accumulate_rhocells(data: TileDepositionData, num_cells: int
         )
     support = data.support
     nodes = support**3
-    rho_jx = np.zeros((num_cells, nodes))
-    rho_jy = np.zeros((num_cells, nodes))
-    rho_jz = np.zeros((num_cells, nodes))
+    backend = active_backend()
+    rho_jx = backend.zeros((num_cells, nodes))
+    rho_jy = backend.zeros((num_cells, nodes))
+    rho_jz = backend.zeros((num_cells, nodes))
     if data.num_particles == 0:
         return rho_jx, rho_jy, rho_jz
     # 3-D shape weights, flattened per particle to the rhocell layout

@@ -95,6 +95,10 @@ class LaserStage:
 
     name = "laser"
     bucket = "field_solve"
+    reads = frozenset({
+        "grid.geometry", "simulation.laser", "simulation.time", "dt",
+    })
+    writes = frozenset({"grid.fields"})
 
     def run(self, ctx) -> None:
         simulation = ctx.simulation

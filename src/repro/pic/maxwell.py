@@ -211,6 +211,8 @@ class FieldSolveStage:
 
     name = "solve"
     bucket = "field_solve"
+    reads = frozenset({"grid.currents", "simulation.solver", "dt"})
+    writes = frozenset({"grid.fields"})
 
     def run(self, ctx) -> None:
         solver = ctx.simulation.solver

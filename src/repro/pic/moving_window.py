@@ -105,6 +105,15 @@ class MovingWindowStage:
 
     name = "moving_window"
     bucket = "boundary_redistribute"
+    reads = frozenset({
+        "simulation.moving_window", "grid.geometry", "containers.position",
+        "containers.membership", "dt", "step_index",
+    })
+    writes = frozenset({
+        "grid.geometry", "grid.fields", "grid.currents",
+        "containers.membership", "domain.geometry",
+        "domain.slabs.fields", "domain.slabs.currents",
+    })
 
     def run(self, ctx) -> None:
         ctx.simulation.moving_window.advance(ctx.grid, ctx.containers,

@@ -21,6 +21,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.config import SpeciesConfig
 from repro.pic.grid import Grid
 from repro.pic.particles import ParticleContainer
@@ -106,7 +107,7 @@ def _load_cells(grid: Grid, container: ParticleContainer, species: SpeciesConfig
 
     cell_volume = float(np.prod(grid.cell_size))
     weight = species.density * cell_volume / n_per_cell
-    w = np.full(n, weight)
+    w = active_backend().xp.full(n, weight)
     if density_profile is not None:
         w = w * np.asarray(density_profile(z), dtype=np.float64)
 
@@ -116,7 +117,7 @@ def _load_cells(grid: Grid, container: ParticleContainer, species: SpeciesConfig
         uy = rng.normal(0.0, vth, n)
         uz = rng.normal(0.0, vth, n)
     else:
-        ux = uy = uz = np.zeros(n)
+        ux = uy = uz = active_backend().zeros((n,))
 
     container.add_particles(grid, x=x, y=y, z=z, ux=ux, uy=uy, uz=uz, w=w)
     return n

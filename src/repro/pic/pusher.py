@@ -207,6 +207,12 @@ class GatherPushStage:
 
     name = "gather_push"
     bucket = "field_gather_push"
+    reads = frozenset({
+        "grid.fields", "grid.geometry", "containers.position",
+        "containers.momentum", "containers.membership",
+        "simulation.pusher", "dt", "executor",
+    })
+    writes = frozenset({"containers.position", "containers.momentum"})
 
     def run(self, ctx) -> None:
         simulation = ctx.simulation

@@ -9,7 +9,12 @@ Public surface
 * :func:`build_pipeline` / :func:`global_stages` / :func:`domain_stages` /
   :func:`stage_set_for` — stage-set selection;
 * the stage vocabulary — gather/push, migrate, moving window, deposit,
-  laser, solve, boundary, diagnostics, plus the per-subdomain variants.
+  laser, solve, boundary, diagnostics, plus the per-subdomain variants;
+* the effect contract (:mod:`repro.pipeline.effects`) — the
+  :data:`~repro.pipeline.effects.RESOURCES` vocabulary, per-stage
+  ``reads``/``writes`` declarations and the static write-after-read
+  hazard checker :func:`~repro.pipeline.effects.check_stage_set`
+  (enforced over every built stage set by ``python -m repro lint``).
 
 The bitwise contract of the old hand-wired loops carries over unchanged:
 pipeline-routed steps are bit-identical to the pre-redesign paths for
@@ -40,6 +45,15 @@ from repro.pipeline.core import (
     StageContext,
     StepPipeline,
 )
+from repro.pipeline.effects import (
+    EXTERNAL_RESOURCES,
+    RESOURCES,
+    STEP_CARRIED,
+    EffectViolation,
+    check_overlap_groups,
+    check_stage_set,
+    declared_effects,
+)
 from repro.pipeline.stages import (
     DepositStage,
     DiagnosticsStage,
@@ -62,6 +76,8 @@ __all__ = [
     "DomainLaserStage",
     "DomainSolveStage",
     "DomainSyncStage",
+    "EXTERNAL_RESOURCES",
+    "EffectViolation",
     "FieldBoundaryStage",
     "FieldSolveStage",
     "GLOBAL_STAGE_SET",
@@ -70,10 +86,15 @@ __all__ = [
     "LaserStage",
     "MigrateStage",
     "MovingWindowStage",
+    "RESOURCES",
+    "STEP_CARRIED",
     "Stage",
     "StageContext",
     "StepPipeline",
     "build_pipeline",
+    "check_overlap_groups",
+    "check_stage_set",
+    "declared_effects",
     "domain_stages",
     "global_stages",
     "stage_set_for",

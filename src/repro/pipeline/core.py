@@ -32,6 +32,7 @@ from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
+    FrozenSet,
     Iterable,
     List,
     Protocol,
@@ -66,7 +67,7 @@ class StageContext:
 
     __slots__ = ("simulation",)
 
-    def __init__(self, simulation: "Simulation"):
+    def __init__(self, simulation: "Simulation") -> None:
         self.simulation = simulation
 
     # ------------------------------------------------------------------
@@ -123,10 +124,23 @@ class Stage(Protocol):
     coarse :data:`repro.pic.diagnostics.STAGES` category the stage's wall
     time is credited to; ``run`` performs the work, mutating simulation
     state through the context.
+
+    ``reads`` and ``writes`` declare the stage's *effects*: the
+    :mod:`repro.pipeline.effects` resources it consumes and produces.
+    The declarations are the input to the static write-after-read hazard
+    checker (:func:`repro.pipeline.effects.check_stage_set`) and are
+    verified complete against the ``run`` body by ``python -m repro
+    lint`` — every shipped stage must carry them.  An optional
+    ``overlap_group`` attribute (default ``None``) additionally declares
+    the stage safe to run concurrently with the other members of its
+    group, which :func:`repro.pipeline.effects.check_overlap_groups`
+    race-checks against the declared effects.
     """
 
     name: str
     bucket: str
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
 
     def run(self, ctx: StageContext) -> None: ...
 
@@ -144,7 +158,7 @@ class StepPipeline:
     """
 
     def __init__(self, stages: Iterable[Stage], context: StageContext,
-                 name: str = "global"):
+                 name: str = "global") -> None:
         self._stages: List[Stage] = []
         self.context = context
         #: stage-set label (``"global"`` or ``"domain"``), diagnostics only

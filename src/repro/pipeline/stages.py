@@ -46,6 +46,13 @@ class MigrateStage:
 
     name = "migrate"
     bucket = "boundary_redistribute"
+    reads = frozenset({
+        "containers.position", "containers.membership", "grid.geometry",
+        "executor", "domain.migration",
+    })
+    writes = frozenset({
+        "containers.position", "containers.membership", "domain.migration",
+    })
 
     def run(self, ctx: "StageContext") -> None:
         domain = ctx.domain
@@ -68,6 +75,14 @@ class DepositStage:
 
     name = "deposit"
     bucket = "current_deposition"
+    reads = frozenset({
+        "containers.position", "containers.momentum",
+        "containers.membership", "grid.geometry", "executor",
+        "simulation.deposition", "step_index",
+    })
+    writes = frozenset({
+        "grid.currents", "simulation.deposition_counters",
+    })
 
     def run(self, ctx: "StageContext") -> None:
         simulation = ctx.simulation
@@ -95,6 +110,10 @@ class DiagnosticsStage:
 
     name = "diagnostics"
     bucket = "other"
+    reads = frozenset({
+        "grid.fields", "containers.momentum", "simulation.energy",
+    })
+    writes = frozenset({"simulation.energy"})
 
     def run(self, ctx: "StageContext") -> None:
         ctx.simulation._record_energy()

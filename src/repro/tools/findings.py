@@ -1,0 +1,181 @@
+"""Lint findings, pragma suppression and the parsed-source model.
+
+A :class:`Finding` is one rule violation with a ``file:line`` anchor, a
+stable rule id, a message and a fix hint.  Suppression is explicit and
+audited: a violation may only be silenced with a *justified* pragma
+comment —
+
+``# repro-lint: allow(<rule>): <justification>``
+    on the offending line (or on a standalone comment line directly
+    above it) silences that line for ``<rule>``;
+
+``# repro-lint: allow-module(<rule>): <justification>``
+    anywhere in the file silences the whole module for ``<rule>`` (the
+    escape hatch for reference implementations such as the NumPy oracle
+    kernels, whose *raw* numpy calls are the contract).
+
+Both forms require a non-empty justification after the closing
+parenthesis; a malformed or unjustified pragma is itself reported as a
+``pragma`` finding, so the escape hatch cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["Finding", "PragmaError", "SourceFile", "PRAGMA_RULE"]
+
+#: rule id under which malformed pragmas are reported (not suppressible)
+PRAGMA_RULE = "pragma"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>allow|allow-module)\s*"
+    r"\(\s*(?P<rules>[^)]*)\s*\)\s*(?::\s*(?P<why>.*))?\s*$"
+)
+_PRAGMA_MARKER_RE = re.compile(r"#\s*repro-lint\b")
+
+
+class PragmaError(ValueError):
+    """A pragma comment that does not parse or lacks a justification."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding."""
+
+    #: stable rule id ("backend-purity", "determinism", ...)
+    rule: str
+    #: path of the offending file, repo-relative with forward slashes
+    path: str
+    #: 1-based line number of the violation
+    line: int
+    #: what is wrong
+    message: str
+    #: how to fix it
+    hint: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        return f"{text} (hint: {self.hint})" if self.hint else text
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class _Pragmas:
+    """Parsed suppression state of one file."""
+
+    #: rule -> lines (1-based) carrying a line pragma for it
+    lines: Dict[str, Set[int]] = field(default_factory=dict)
+    #: rules with a module-wide pragma
+    modules: Set[str] = field(default_factory=set)
+    #: malformed pragmas as (line, problem) pairs
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def _parse_pragmas(text: str) -> _Pragmas:
+    pragmas = _Pragmas()
+    try:
+        tokens = list(tokenize.generate_tokens(iter(text.splitlines(True)).__next__))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas  # unparsable files are reported by the loader
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not _PRAGMA_MARKER_RE.search(comment):
+            continue
+        line = token.start[0]
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            pragmas.errors.append(
+                (line, "malformed repro-lint pragma; expected "
+                       "`# repro-lint: allow(<rule>): <justification>`"))
+            continue
+        rules = [r.strip() for r in match.group("rules").split(",")
+                 if r.strip()]
+        why = (match.group("why") or "").strip()
+        if not rules:
+            pragmas.errors.append(
+                (line, "repro-lint pragma names no rule"))
+            continue
+        if not why:
+            pragmas.errors.append(
+                (line, "repro-lint pragma lacks a justification string "
+                       "(`...(<rule>): because ...`)"))
+            continue
+        for rule in rules:
+            if match.group("kind") == "allow-module":
+                pragmas.modules.add(rule)
+            else:
+                pragmas.lines.setdefault(rule, set()).add(line)
+    return pragmas
+
+
+class SourceFile:
+    """One parsed source file: text, AST and suppression pragmas."""
+
+    def __init__(self, root: Path, path: Path):
+        self.path = path
+        self.rel_path = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(self.text,
+                                                     filename=str(path))
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = exc
+        self._pragmas = _parse_pragmas(self.text)
+
+    # ------------------------------------------------------------------
+    def pragma_findings(self) -> List[Finding]:
+        """Malformed/unjustified pragmas in this file, as findings."""
+        return [
+            Finding(rule=PRAGMA_RULE, path=self.rel_path, line=line,
+                    message=problem,
+                    hint="write `# repro-lint: allow(<rule>): <reason>` "
+                         "or `allow-module(<rule>): <reason>`")
+            for line, problem in self._pragmas.errors
+        ]
+
+    def _is_comment_only(self, line: int) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        stripped = self.lines[line - 1].strip()
+        return stripped.startswith("#")
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is pragma-silenced."""
+        if rule in self._pragmas.modules:
+            return True
+        lines = self._pragmas.lines.get(rule, ())
+        if line in lines:
+            return True
+        # a standalone pragma comment directly above the offending line
+        return (line - 1) in lines and self._is_comment_only(line - 1)
+
+    def finding(self, rule: str, line: int, message: str,
+                hint: str = "") -> Optional[Finding]:
+        """A finding at ``line``, or None when a pragma suppresses it."""
+        if self.suppressed(rule, line):
+            return None
+        return Finding(rule=rule, path=self.rel_path, line=line,
+                       message=message, hint=hint)

@@ -1,6 +1,5 @@
 """Tests for the metrics, experiment runners and table formatters."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import (

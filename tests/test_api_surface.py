@@ -51,6 +51,8 @@ API_SURFACE = {
         "DomainLaserStage",
         "DomainSolveStage",
         "DomainSyncStage",
+        "EXTERNAL_RESOURCES",
+        "EffectViolation",
         "FieldBoundaryStage",
         "FieldSolveStage",
         "GLOBAL_STAGE_SET",
@@ -59,13 +61,28 @@ API_SURFACE = {
         "LaserStage",
         "MigrateStage",
         "MovingWindowStage",
+        "RESOURCES",
+        "STEP_CARRIED",
         "Stage",
         "StageContext",
         "StepPipeline",
         "build_pipeline",
+        "check_overlap_groups",
+        "check_stage_set",
+        "declared_effects",
         "domain_stages",
         "global_stages",
         "stage_set_for",
+    ),
+    "repro.tools": (
+        "ANALYZERS",
+        "Finding",
+        "LintContext",
+        "PragmaError",
+        "SourceFile",
+        "analyzer_names",
+        "format_findings",
+        "run_lint",
     ),
 }
 

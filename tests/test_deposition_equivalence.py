@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.baselines.configs import available_configurations, make_strategy
-from repro.config import GridConfig
 from repro.core.hybrid_kernel import HybridMPUDeposition
 from repro.hardware.counters import KernelCounters
 from repro.pic.deposition.base import (

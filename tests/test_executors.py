@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import ExecutionConfig, GridConfig
+from repro.config import ExecutionConfig
 from repro.exec import (
     ProcessShardExecutor,
     SerialExecutor,
@@ -28,8 +28,6 @@ from repro.pic.deposition.reference import (
     deposit_reference,
     deposit_rho_reference,
 )
-from repro.pic.grid import Grid
-from repro.pic.simulation import Simulation
 from repro.workloads.uniform import UniformPlasmaWorkload
 
 from helpers import make_plasma

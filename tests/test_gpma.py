@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import INVALID_PARTICLE_ID
 from repro.core.gpma import GappedPMA
 
 

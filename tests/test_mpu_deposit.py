@@ -11,8 +11,6 @@ from repro.core.mpu_deposit import (
     deposit_cell_cic_mpu,
     deposit_cell_qsp_mpu,
     pair_within_runs,
-    tile_contributions_cic,
-    tile_contributions_qsp,
 )
 from repro.core.rhocell import RhocellBuffer
 from repro.hardware.mpu import MatrixUnit

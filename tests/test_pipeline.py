@@ -36,7 +36,6 @@ from repro.pipeline import (
     Stage,
     StageContext,
     StepPipeline,
-    build_pipeline,
     domain_stages,
     global_stages,
     stage_set_for,

@@ -28,7 +28,7 @@ from repro.pic.deposition.reference import (
     deposit_reference,
     deposit_rho_reference,
 )
-from repro.pic.grid import Grid, ScratchGridPool, scratch_grids
+from repro.pic.grid import ScratchGridPool, scratch_grids
 from repro.pic.shapes import shape_factors, shape_support
 from repro.pic.stencil import (
     StencilOperator,
