@@ -11,10 +11,11 @@ Layout (two-level fan-out keeps directories small)::
     <cache-dir>/
         <key[:2]>/<key>.json    # {"key", "spec", "result", "version"}
 
-Entries are written atomically (temp file + ``os.replace``) so a killed
-run never leaves a truncated entry behind, and unreadable or malformed
-entries are treated as misses, counted as invalidations and deleted —
-never raised to the caller.
+Entries are written atomically *and durably* (temp file + ``fsync`` +
+``os.replace`` + parent-directory ``fsync``) so neither a killed run nor
+a host crash can leave a truncated or renamed-but-empty entry behind,
+and unreadable or malformed entries are treated as misses, counted as
+invalidations and deleted — never raised to the caller.
 """
 
 from __future__ import annotations
@@ -40,6 +41,21 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 def default_cache_dir() -> str:
     """The cache directory used when none is configured explicitly."""
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+def _fsync_directory(path: str) -> None:
+    """Persist a rename by fsyncing its directory (no-op where
+    directories cannot be opened or fsync'd, e.g. some network mounts)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def canonical_json(payload: object) -> str:
@@ -163,6 +179,10 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
                     fh.write(canonical_json(payload))
+                    # durability: the rename below is only crash-safe if
+                    # the temp file's bytes reach the disk first
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(tmp_path, path)
             except BaseException:
                 try:
@@ -170,6 +190,7 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+            _fsync_directory(os.path.dirname(path))
         except OSError:
             self.stats.write_errors += 1
             return None

@@ -27,6 +27,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import hashlib
+import logging
 import os
 # imported explicitly: the `concurrent.futures.process` attribute is only
 # bound once the submodule is imported, so referencing it lazily inside an
@@ -48,6 +49,8 @@ from repro.config import SortingPolicyConfig
 from repro.exec.process import make_process_pool
 from repro.hardware.cost_model import CostModel
 from repro.hardware.spec import ArchSpec
+
+logger = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -375,12 +378,16 @@ class CampaignEntry:
     result: ExperimentResult
     cache_hit: bool = False
     cache_key: Optional[str] = None
+    #: True when the result was adopted from a campaign progress
+    #: checkpoint (:mod:`repro.ckpt.progress`) instead of being executed
+    resumed: bool = False
 
     def to_json(self) -> Dict[str, object]:
         return {
             "spec": self.spec.to_dict(),
             "cache_hit": self.cache_hit,
             "cache_key": self.cache_key,
+            "resumed": self.resumed,
             "result": self.result.to_json(),
         }
 
@@ -456,16 +463,39 @@ class Campaign:
         serially in-process; higher values use a fork-based
         ``ProcessPoolExecutor`` and degrade to serial execution where the
         environment forbids subprocesses.
+    checkpoint_dir:
+        Optional directory for a campaign progress checkpoint
+        (:class:`repro.ckpt.CampaignProgress`): every executed cell's
+        result is durably recorded there, so a killed sweep re-run with
+        ``resume=True`` adopts the completed cells and computes only the
+        rest.  Independent of the result cache (works with ``--no-cache``).
+    checkpoint_every:
+        Rewrite the progress file every N completed cells (default 1).
+    resume:
+        Adopt completed cells from the latest valid progress checkpoint
+        before executing.  Corrupt or torn progress files are detected
+        (checksummed container) and ignored with a warning.
     """
 
     def __init__(self, specs: Sequence[ExperimentSpec], *,
                  cache: Optional[ResultCache] = None,
-                 jobs: int = 1):
+                 jobs: int = 1,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 1,
+                 resume: bool = False):
         if jobs <= 0:
             raise ValueError(f"jobs must be positive, got {jobs}")
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
         self.specs = list(specs)
         self.cache = cache
         self.jobs = int(jobs)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = int(checkpoint_every)
+        self.resume = resume
         self.degraded = False
 
     # ------------------------------------------------------------------
@@ -477,7 +507,10 @@ class Campaign:
                   sorting_config: Optional[SortingPolicyConfig] = None,
                   cost_model: Optional[CostModel] = None,
                   cache: Optional[ResultCache] = None,
-                  jobs: int = 1) -> "Campaign":
+                  jobs: int = 1,
+                  checkpoint_dir: Optional[str] = None,
+                  checkpoint_every: int = 1,
+                  resume: bool = False) -> "Campaign":
         """Expand a workloads x configurations grid into a campaign."""
         specs = [
             spec_for_workload(workload, configuration, steps=steps,
@@ -487,7 +520,9 @@ class Campaign:
             for workload in workloads
             for configuration in configurations
         ]
-        return cls(specs, cache=cache, jobs=jobs)
+        return cls(specs, cache=cache, jobs=jobs,
+                   checkpoint_dir=checkpoint_dir,
+                   checkpoint_every=checkpoint_every, resume=resume)
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -502,22 +537,53 @@ class Campaign:
         entries: List[Optional[CampaignEntry]] = [None] * len(self.specs)
         pending: List[Tuple[int, ExperimentSpec, Optional[str]]] = []
 
+        progress = None
+        completed_prior: Dict[str, Dict[str, object]] = {}
+        if self.checkpoint_dir is not None:
+            from repro.ckpt.progress import CampaignProgress
+
+            progress = CampaignProgress(self.checkpoint_dir,
+                                        every=self.checkpoint_every)
+            if self.resume:
+                completed_prior = progress.load()
+
         for index, spec in enumerate(self.specs):
-            key = spec.cache_key() if self.cache is not None else None
-            payload = self.cache.get(key) if self.cache is not None else None
+            # one content identity serves both the cache and the progress
+            # checkpoint; the entry's cache_key stays None when caching
+            # is off so provenance reads true
+            key = (spec.cache_key()
+                   if self.cache is not None or progress is not None
+                   else None)
+            cache_key = key if self.cache is not None else None
+            payload = (self.cache.get(cache_key)
+                       if self.cache is not None else None)
             if payload is not None:
                 try:
                     result = ExperimentResult.from_json(payload["result"])
                 except (KeyError, TypeError, ValueError, AttributeError):
                     # malformed payload that still parsed as JSON: treat
                     # like any other corrupt entry and recompute
-                    self.cache.reclassify_corrupt_hit(key)
-                    pending.append((index, spec, key))
+                    self.cache.reclassify_corrupt_hit(cache_key)
+                else:
+                    entries[index] = CampaignEntry(
+                        spec=spec, result=result,
+                        cache_hit=True, cache_key=cache_key)
                     continue
-                entries[index] = CampaignEntry(spec=spec, result=result,
-                                               cache_hit=True, cache_key=key)
-            else:
-                pending.append((index, spec, key))
+            record = (completed_prior.get(key)
+                      if key is not None else None)
+            if record is not None:
+                try:
+                    result = ExperimentResult.from_json(record["result"])
+                except (KeyError, TypeError, ValueError, AttributeError):
+                    logger.warning(
+                        "ignoring malformed progress record for %s; "
+                        "recomputing the cell", spec.label())
+                else:
+                    entries[index] = CampaignEntry(
+                        spec=spec, result=result, cache_hit=False,
+                        cache_key=cache_key, resumed=True)
+                    continue
+            pending.append((index, spec, key))
 
         # a grid that accidentally repeats a cell (duplicate PPC value,
         # repeated configuration name) computes each unique spec once and
@@ -536,14 +602,23 @@ class Campaign:
             _index, spec, key = unique_items[position][0]
             if self.cache is not None and key is not None:
                 self.cache.put(key, spec.to_dict(), payload)
+            if progress is not None and key is not None:
+                progress.record(key, spec.to_dict(), payload)
 
-        executed = self._execute([items[0][1] for items in unique_items],
-                                 on_result=store)
+        try:
+            executed = self._execute(
+                [items[0][1] for items in unique_items], on_result=store)
+        finally:
+            if progress is not None:
+                # persist cells buffered below the checkpoint_every
+                # interval even when a sibling spec raised
+                progress.flush()
         for items, payload in zip(unique_items, executed):
             for index, spec, key in items:
                 entries[index] = CampaignEntry(
                     spec=spec, result=ExperimentResult.from_json(payload),
-                    cache_hit=False, cache_key=key)
+                    cache_hit=False,
+                    cache_key=key if self.cache is not None else None)
 
         return CampaignResult(
             entries=[e for e in entries if e is not None],
@@ -604,13 +679,16 @@ class Campaign:
                 for position, payload in enumerate(payloads):
                     future = pool.submit(_execute_spec_payload, payload)
                     futures[future] = position
-            except (OSError, BrokenProcessPool):
+            except (OSError, BrokenProcessPool) as exc:
                 # worker processes are spawned lazily inside submit(), so
                 # a sandbox that blocks fork surfaces as a plain OSError
                 # here rather than at pool construction, and a worker
                 # dying mid-loop breaks the pool for the next submit;
                 # whatever was already submitted is still collected below
                 self.degraded = True
+                logger.warning(
+                    "campaign worker pool broke during submit (%s); "
+                    "unsubmitted cells will run serially in-process", exc)
             # as_completed (not a batch wait) so each payload is emitted —
             # and persisted by the caller — the moment its worker finishes,
             # even if the main process dies before the batch completes
@@ -618,10 +696,15 @@ class Campaign:
                 position = futures[future]
                 try:
                     emit(position, future.result())
-                except BrokenProcessPool:
+                except BrokenProcessPool as exc:
                     # this worker died (OOM, sandbox kill): keep every
-                    # completed result and recompute only this cell inline
+                    # completed result; the cell is retried exactly once
+                    # by the serial sweep below (a retry that raises
+                    # propagates)
                     self.degraded = True
+                    logger.warning(
+                        "campaign worker died mid-cell (%s); the cell "
+                        "will be retried serially in-process once", exc)
                 except Exception as exc:
                     # genuine experiment failure: finish collecting (and
                     # persisting) the siblings first, then re-raise

@@ -190,7 +190,13 @@ class Session:
         simulation = self._simulation
         n = simulation.config.max_steps if steps is None else steps
         if record_energy:
-            simulation._record_energy()
+            if simulation._skip_initial_energy_record:
+                # a ckpt restore re-loaded a history that already holds
+                # the record for the current step; recording it again
+                # would fork the history from an uninterrupted run
+                simulation._skip_initial_energy_record = False
+            else:
+                simulation._record_energy()
         for _ in range(n):
             simulation.pipeline.run_step()
             energy = simulation._record_energy() if record_energy else None
@@ -203,6 +209,34 @@ class Session:
         for _ in self.run(steps, record_energy=record_energy):
             pass
         return self._simulation.breakdown
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write a deterministic, checksummed snapshot of the full
+        session state to ``path`` (atomic; see :mod:`repro.ckpt`).
+
+        Returns ``path``.  Saving the same state twice produces
+        byte-identical files.
+        """
+        from repro.ckpt import save_simulation
+
+        return save_simulation(self._simulation, path)
+
+    def restore(self, path: str) -> "Session":
+        """Load the snapshot at ``path`` into this session, in place.
+
+        The session must have been built from the same configuration as
+        the one that was saved (fingerprint-checked).  After a restore,
+        continuing for ``N - k`` steps is bitwise identical to the
+        uninterrupted ``N``-step run — fields, currents, particles and
+        energy history.  Returns ``self`` for chaining.
+        """
+        from repro.ckpt import restore_simulation
+
+        restore_simulation(self._simulation, path)
+        return self
 
     # ------------------------------------------------------------------
     # lifecycle

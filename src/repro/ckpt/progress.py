@@ -1,0 +1,119 @@
+"""Campaign-level progress checkpointing (auto-resume for sweeps).
+
+A campaign's unit of recovery is the *cell*: individual cells are
+deterministic and cheap relative to a whole sweep, so the progress file
+records completed cells' result payloads keyed by their content-derived
+spec key (``ExperimentSpec.cache_key()``), not mid-cell simulation
+state.  On ``--resume`` the campaign adopts every recorded cell without
+re-execution and computes only what is missing — a SIGKILL'd sweep
+re-run with ``--resume`` produces byte-identical deterministic results
+to an uninterrupted run.
+
+The file uses the same checksummed, atomically written, torn-write
+tolerant container as session snapshots (:mod:`repro.ckpt.format`, with
+an empty array table), so a crash mid-rewrite leaves either the old
+intact file or a file that fails verification — never a silently
+half-written progress record.  A corrupt or unreadable file downgrades
+to "no progress recorded" with a logged warning.
+
+This deliberately complements — not duplicates — the result cache: the
+cache is content-addressed, shared and long-lived; the progress file is
+per-campaign-directory, works with ``--no-cache``, and is the thing the
+CI kill-and-resume smoke exercises in isolation.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Any, Dict
+
+from repro.ckpt.format import (
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = ["PROGRESS_FILENAME", "CampaignProgress"]
+
+logger = logging.getLogger(__name__)
+
+#: progress checkpoint filename inside the campaign checkpoint directory
+PROGRESS_FILENAME = "campaign.ckpt"
+
+_PROGRESS_KIND = "campaign-progress"
+
+
+class CampaignProgress:
+    """Durable record of a campaign's completed cells.
+
+    ``record`` buffers one completed cell and rewrites the file every
+    ``every`` completions; ``flush`` forces the rewrite.  Writes are
+    best-effort: an unwritable directory degrades checkpointing to a
+    logged warning instead of failing the sweep itself.
+    """
+
+    def __init__(self, directory: str, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.directory = str(directory)
+        self.every = int(every)
+        self.path = os.path.join(self.directory, PROGRESS_FILENAME)
+        self._completed: Dict[str, Dict[str, Any]] = {}
+        self._pending = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Adopt the on-disk record; returns ``{key: {spec, result}}``.
+
+        A missing, corrupt or torn file yields an empty record (the
+        campaign simply recomputes), with a warning when the file exists
+        but does not verify.
+        """
+        try:
+            meta, _arrays = read_snapshot(self.path)
+        except FileNotFoundError:
+            return {}
+        except (SnapshotError, OSError) as exc:
+            logger.warning(
+                "ignoring unusable campaign progress file %s: %s",
+                self.path, exc)
+            return {}
+        completed = meta.get("completed")
+        if meta.get("kind") != _PROGRESS_KIND or not isinstance(
+                completed, dict):
+            logger.warning(
+                "ignoring %s: not a campaign progress record", self.path)
+            return {}
+        self._completed = dict(completed)
+        return dict(self._completed)
+
+    def record(self, key: str, spec_payload: Dict[str, Any],
+               result_payload: Dict[str, Any]) -> None:
+        """Buffer one completed cell; rewrites the file on the interval."""
+        self._completed[key] = {"spec": spec_payload,
+                                "result": result_payload}
+        self._dirty = True
+        self._pending += 1
+        if self._pending >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the progress file if anything is buffered."""
+        if not self._dirty:
+            return
+        meta = {"kind": _PROGRESS_KIND, "completed": self._completed}
+        try:
+            write_snapshot(self.path, meta, {})
+        except OSError as exc:
+            logger.warning(
+                "could not write campaign progress file %s: %s",
+                self.path, exc)
+            return
+        self._dirty = False
+        self._pending = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CampaignProgress(path={self.path!r}, "
+                f"completed={len(self._completed)})")

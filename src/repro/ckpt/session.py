@@ -1,0 +1,280 @@
+"""Full-state capture and bitwise-exact restore of a :class:`Simulation`.
+
+The resume contract mirrors the domain-parity contract: for any
+(backend, kernel tier, shard count, domain split), a run of ``N`` steps
+is bitwise identical — fields, currents, particles, energy history — to
+a run of ``k`` steps + :func:`save_simulation` + :func:`restore_simulation`
+into a fresh session + ``N - k`` more steps.
+
+What a snapshot holds
+---------------------
+* the 10 dense field components plus the grid origin (``lo``/``hi``
+  travel with the moving window),
+* every particle container: the SoA arrays of all tiles concatenated in
+  tile order plus per-tile counts (concatenate-then-split round-trips
+  exactly), ids, and the id allocator cursor,
+* step index, moving-window accumulator and total shift count,
+* both RNG streams (the construction-time generator and the moving
+  window injector's stream) as exact bit-generator states,
+* the energy history and the per-phase deposition counters,
+* a config fingerprint — restoring into a session built from a
+  different configuration raises :class:`SnapshotMismatchError` instead
+  of silently producing garbage.
+
+Domain-decomposed runs snapshot the assembled *global frame*: capture
+first folds the authoritative slab interiors back into the frame (the
+same ``sync + assemble`` pair the energy diagnostic uses, which is
+bitwise neutral), and restore clears the runtime's seeded flag so the
+next ``domain_sync`` stage re-seeds every slab from the restored frame
+bit-exactly.  Per-subdomain state therefore never needs its own
+serialization format, and the snapshot is identical across domain
+splits of the same run.
+
+Restore mutates arrays **in place** — solver stencils, boundary
+machinery and halo exchange all hold references to the grid arrays, so
+rebinding them would silently fork the state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.cache import content_key
+from repro.ckpt.format import (
+    SnapshotMismatchError,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.domain.runtime import _ALL_FIELDS
+from repro.hardware.counters import KernelCounters, PhaseCounters
+from repro.pic.particles import _SOA_FIELDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pic.simulation import Simulation
+
+__all__ = [
+    "STATE_VERSION",
+    "capture_state",
+    "config_fingerprint",
+    "restore_simulation",
+    "restore_state",
+    "save_simulation",
+]
+
+#: logical state-inventory version (the container version lives in
+#: :mod:`repro.ckpt.format`)
+STATE_VERSION = 1
+
+
+#: config fields excluded from the restore fingerprint: the executor
+#: backend, kernel tier and domain split are axes the parity contract
+#: pins to bitwise-identical results, so a snapshot is portable across
+#: them; ``max_steps`` is a loop bound, not physics — resuming with a
+#: larger total is the whole point.  The *shard count* stays in: it
+#: fixes the deposition merge order, so results are only pinned for the
+#: same ``num_shards`` (see the contract in :mod:`repro.exec.base`).
+_FINGERPRINT_EXCLUDE = ("max_steps", "domain", "backend")
+
+
+def config_fingerprint(config: Any) -> str:
+    """Content hash of the physics-defining part of a config.
+
+    Two configurations with the same fingerprint evolve identical state
+    step for step; restoring across a fingerprint mismatch would
+    silently produce garbage and raises instead.
+    """
+    payload = dataclasses.asdict(config)
+    for field_name in _FINGERPRINT_EXCLUDE:
+        payload.pop(field_name, None)
+    execution = payload.get("execution")
+    if isinstance(execution, dict):
+        execution.pop("backend", None)  # num_shards stays
+    return content_key(payload)
+
+
+def _rng_state(rng: Any) -> Any:
+    return None if rng is None else rng.bit_generator.state
+
+
+def _injector_rng(simulation: "Simulation") -> Any:
+    """The moving-window injector's RNG, when the workload exposes one."""
+    injector = simulation.moving_window.injector
+    return getattr(injector, "rng", None) if injector is not None else None
+
+
+def capture_state(simulation: "Simulation", *,
+                  step_index: "int | None" = None
+                  ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Snapshot ``simulation`` into a ``(meta, arrays)`` pair.
+
+    On the domain path the slab interiors are folded back into the
+    global frame first (bitwise neutral — identical to the energy
+    diagnostic's preamble), so the captured frame is authoritative for
+    any domain split.
+
+    ``step_index`` overrides the recorded step count: a post-stage hook
+    runs before the pipeline epilogue advances ``simulation.step_index``,
+    so it passes the just-completed step explicitly.
+    """
+    if simulation.domain is not None:
+        simulation.domain.sync_from_frame_once(simulation.grid)
+        simulation.domain.assemble(simulation.grid)
+    grid = simulation.grid
+    arrays: Dict[str, np.ndarray] = {
+        f"grid.{name}": getattr(grid, name) for name in _ALL_FIELDS
+    }
+    arrays["grid.lo"] = grid.lo
+    arrays["grid.hi"] = grid.hi
+    window = simulation.moving_window
+    arrays["window.accumulated"] = np.array([window._accumulated],
+                                            dtype=np.float64)
+    containers_meta: List[Dict[str, Any]] = []
+    for index, container in enumerate(simulation.containers):
+        tiles = container.tiles
+        prefix = f"c{index}"
+        for name in _SOA_FIELDS:
+            arrays[f"{prefix}.{name}"] = np.concatenate(
+                [getattr(tile, name) for tile in tiles])
+        arrays[f"{prefix}.ids"] = np.concatenate(
+            [tile.ids for tile in tiles])
+        arrays[f"{prefix}.counts"] = np.array(
+            [tile.num_particles for tile in tiles], dtype=np.int64)
+        containers_meta.append({
+            "next_id": container._next_id,
+            "num_tiles": len(tiles),
+        })
+    meta: Dict[str, Any] = {
+        "state_version": STATE_VERSION,
+        "config_fingerprint": config_fingerprint(simulation.config),
+        "step_index": (simulation.step_index if step_index is None
+                       else int(step_index)),
+        "window_total_shift_cells": window.total_shift_cells,
+        "rng": {
+            "simulation": _rng_state(simulation.rng),
+            "injector": _rng_state(_injector_rng(simulation)),
+        },
+        "energy_history": [
+            [record.step, record.field_energy, record.kinetic_energy]
+            for record in simulation.energy.history
+        ],
+        "containers": containers_meta,
+        "counters": {
+            phase: counters.as_dict()
+            for phase, counters in
+            simulation.deposition_counters.phases.items()
+        },
+    }
+    return meta, arrays
+
+
+def restore_state(simulation: "Simulation", meta: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> None:
+    """Load a captured ``(meta, arrays)`` pair into ``simulation``.
+
+    The target must have been built from the same configuration
+    (fingerprint-checked); all grid arrays are written in place.
+    """
+    version = meta.get("state_version")
+    if version != STATE_VERSION:
+        raise SnapshotMismatchError(
+            f"snapshot state version {version!r} is not supported "
+            f"(this build restores version {STATE_VERSION})")
+    fingerprint = config_fingerprint(simulation.config)
+    if meta.get("config_fingerprint") != fingerprint:
+        raise SnapshotMismatchError(
+            "snapshot was taken from a different simulation "
+            "configuration; rebuild the session from the original "
+            "workload before restoring")
+    grid = simulation.grid
+    for name in _ALL_FIELDS:
+        loaded = arrays[f"grid.{name}"]
+        if loaded.shape != getattr(grid, name).shape:
+            raise SnapshotMismatchError(
+                f"snapshot field {name!r} has shape {loaded.shape}, "
+                f"grid expects {getattr(grid, name).shape}")
+        getattr(grid, name)[...] = loaded
+    grid.lo[...] = arrays["grid.lo"]
+    grid.hi[...] = arrays["grid.hi"]
+
+    window = simulation.moving_window
+    window._accumulated = float(arrays["window.accumulated"][0])
+    window.total_shift_cells = int(meta["window_total_shift_cells"])
+
+    containers_meta = meta["containers"]
+    if len(containers_meta) != len(simulation.containers):
+        raise SnapshotMismatchError(
+            f"snapshot holds {len(containers_meta)} particle "
+            f"container(s), simulation has {len(simulation.containers)}")
+    for index, (container, cmeta) in enumerate(
+            zip(simulation.containers, containers_meta)):
+        prefix = f"c{index}"
+        tiles = container.tiles
+        if cmeta["num_tiles"] != len(tiles):
+            raise SnapshotMismatchError(
+                f"snapshot container {index} has {cmeta['num_tiles']} "
+                f"tiles, simulation has {len(tiles)}")
+        counts = arrays[f"{prefix}.counts"]
+        offsets = np.zeros(len(tiles) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        for name in (*_SOA_FIELDS, "ids"):
+            flat = arrays[f"{prefix}.{name}"]
+            if flat.shape[0] != offsets[-1]:
+                raise SnapshotMismatchError(
+                    f"snapshot container {index} field {name!r} length "
+                    "does not match the per-tile counts")
+            for tile_id, tile in enumerate(tiles):
+                chunk = flat[offsets[tile_id]:offsets[tile_id + 1]].copy()
+                if name == "ids":
+                    tile.ids = chunk
+                else:
+                    setattr(tile, name, chunk)
+        for tile in tiles:
+            tile.sorter = None  # any attached GPMA predates the snapshot
+        container._next_id = int(cmeta["next_id"])
+
+    rng_meta = meta.get("rng", {})
+    if rng_meta.get("simulation") is not None:
+        simulation.rng.bit_generator.state = rng_meta["simulation"]
+    injector_rng = _injector_rng(simulation)
+    if rng_meta.get("injector") is not None and injector_rng is not None:
+        injector_rng.bit_generator.state = rng_meta["injector"]
+
+    history = [(int(step), float(fe), float(ke))
+               for step, fe, ke in meta.get("energy_history", [])]
+    from repro.pic.diagnostics import EnergyRecord
+
+    simulation.energy.history = [
+        EnergyRecord(step=step, field_energy=fe, kinetic_energy=ke)
+        for step, fe, ke in history
+    ]
+    simulation.deposition_counters = KernelCounters(phases={
+        phase: PhaseCounters(**values)
+        for phase, values in meta.get("counters", {}).items()
+    })
+    simulation.step_index = int(meta["step_index"])
+    if simulation.domain is not None:
+        # the next domain_sync stage re-seeds every slab interior from
+        # the restored frame, bit-exactly
+        simulation.domain._synced = False
+    # the restored history already holds the record for the current step
+    # iff the snapshot was taken after a recording run's epilogue; a
+    # periodic-hook snapshot fires before it, so the resumed run must
+    # record the current step itself
+    simulation._skip_initial_energy_record = bool(
+        history and history[-1][0] >= simulation.step_index)
+
+
+def save_simulation(simulation: "Simulation", path: str, *,
+                    step_index: "int | None" = None) -> str:
+    """Capture ``simulation`` and write it to ``path`` atomically."""
+    meta, arrays = capture_state(simulation, step_index=step_index)
+    return write_snapshot(path, meta, arrays)
+
+
+def restore_simulation(simulation: "Simulation", path: str) -> None:
+    """Read, verify and load the snapshot at ``path`` into ``simulation``."""
+    meta, arrays = read_snapshot(path)
+    restore_state(simulation, meta, arrays)

@@ -37,6 +37,7 @@ from repro.analysis.cache import (
     DEFAULT_CACHE_DIR,
     default_cache_dir,
 )
+from repro.ckpt.store import CKPT_DIR_ENV, DEFAULT_CHECKPOINT_DIR
 
 
 def _comma_list(text: str) -> List[str]:
@@ -177,6 +178,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="delete every cached entry (including ones "
                                "stranded by source edits or version bumps) "
                                "before running")
+    campaign.add_argument("--checkpoint-dir", default=None,
+                          metavar="DIR",
+                          help="enable campaign progress checkpointing "
+                               "into DIR (repro.ckpt): every completed "
+                               "cell is durably recorded so a killed "
+                               "sweep can auto-resume")
+    campaign.add_argument("--checkpoint-every", type=_positive_int,
+                          default=1, metavar="N",
+                          help="rewrite the progress checkpoint every N "
+                               "completed cells (default: 1)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="adopt completed cells from the progress "
+                               "checkpoint in --checkpoint-dir (default: "
+                               f"${CKPT_DIR_ENV} or {DEFAULT_CHECKPOINT_DIR}) "
+                               "before executing; corrupt checkpoints are "
+                               "detected and ignored")
     campaign.add_argument("--format", choices=("table", "csv", "json"),
                           default="table",
                           help="output format (default: table)")
@@ -227,6 +244,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload RNG seed (default: 2026)")
     run.add_argument("--record-energy", action="store_true",
                      help="record the energy history and report the drift")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="session snapshot directory (default: "
+                          f"${CKPT_DIR_ENV} or {DEFAULT_CHECKPOINT_DIR})")
+    run.add_argument("--checkpoint-every", type=_positive_int,
+                     default=None, metavar="N",
+                     help="write a full-session snapshot every N completed "
+                          "steps (repro.ckpt; snapshots are checksummed "
+                          "and written atomically)")
+    run.add_argument("--resume", action="store_true",
+                     help="restore the latest valid snapshot from the "
+                          "checkpoint directory and run only the remaining "
+                          "steps; the resumed run is bitwise identical to "
+                          "an uninterrupted one")
     run.add_argument("--format", choices=("table", "json"), default="table",
                      help="output format (default: table)")
     run.set_defaults(func=cmd_run)
@@ -368,11 +398,20 @@ def cmd_campaign(args, stdout=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        from repro.ckpt import default_checkpoint_dir
+
+        checkpoint_dir = default_checkpoint_dir()
+
     campaign = Campaign.from_grid(
         workloads, args.configurations,
         steps=args.steps, warmup_steps=args.warmup_steps,
         scramble=not args.no_scramble,
         cache=cache, jobs=args.jobs,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     outcome = campaign.run()
 
@@ -415,8 +454,32 @@ def cmd_run(args, stdout=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    checkpointing = args.checkpoint_every is not None or args.resume
+    checkpoint_dir = args.checkpoint_dir
+    if checkpointing and checkpoint_dir is None:
+        from repro.ckpt import default_checkpoint_dir
+
+        checkpoint_dir = default_checkpoint_dir()
+
     with session:
-        for _ in session.run(args.steps, record_energy=args.record_energy):
+        steps = args.steps
+        if args.resume:
+            from repro.ckpt import latest_valid_snapshot
+
+            loaded = latest_valid_snapshot(checkpoint_dir)
+            if loaded is not None:
+                session.restore(loaded.path)
+                print(f"resumed from {loaded.path} "
+                      f"(step {loaded.step})", file=sys.stderr)
+            # run only what remains toward the requested step count
+            steps = max(0, args.steps - session.step_index)
+        if args.checkpoint_every is not None:
+            from repro.ckpt import CheckpointHook
+
+            session.pipeline.add_post_hook(
+                CheckpointHook(checkpoint_dir,
+                               every=args.checkpoint_every))
+        for _ in session.run(steps, record_energy=args.record_energy):
             pass
         payload = {
             "workload": args.workload,

@@ -24,6 +24,7 @@ records that the fallback was taken so benchmarks can report it.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import multiprocessing
 # imported explicitly: the `concurrent.futures.process` attribute is only
 # bound once the submodule is imported, so referencing it lazily inside an
@@ -32,6 +33,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, List, Optional, Sequence
 
 from repro.exec.base import BACKEND_PROCESSES, TileExecutor, TileTask
+
+logger = logging.getLogger(__name__)
 
 
 def preferred_mp_context() -> multiprocessing.context.BaseContext:
@@ -66,11 +69,18 @@ class ProcessShardExecutor(TileExecutor):
     name = BACKEND_PROCESSES
     shares_memory = False
 
+    #: worker-death incidents tolerated before the executor stops
+    #: rebuilding pools and degrades to inline execution for good
+    MAX_POOL_REBUILDS = 1
+
     def __init__(self, num_shards: int = 2):
         super().__init__(num_shards)
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-        #: True once process creation failed and tasks run inline instead
+        #: True once process creation failed (or workers died repeatedly)
+        #: and tasks run inline instead
         self.degraded = False
+        #: mid-run worker-death incidents seen so far (diagnostics)
+        self.pool_failures = 0
 
     def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
         if self.degraded:
@@ -82,6 +92,28 @@ class ProcessShardExecutor(TileExecutor):
                 return None
         return self._pool
 
+    def _retire_broken_pool(self, cause: BaseException) -> None:
+        """Drop a pool whose workers died mid-run.
+
+        The failed shards were already recomputed inline (the
+        retry-exactly-once); one incident is forgiven — the next ``run``
+        call forks a fresh pool — while a second incident degrades the
+        executor to inline execution permanently.
+        """
+        self.pool_failures += 1
+        if self.pool_failures > self.MAX_POOL_REBUILDS:
+            self.degraded = True
+            logger.warning(
+                "process-shard worker died again (%s); failed shards "
+                "were recomputed inline, degrading to serial execution "
+                "for the rest of the run", cause)
+        else:
+            logger.warning(
+                "process-shard worker died mid-run (%s); failed shards "
+                "were recomputed inline once, the pool will be rebuilt "
+                "on the next batch", cause)
+        self.shutdown()
+
     def run(self, tasks: Sequence[TileTask]) -> List[Any]:
         if len(tasks) <= 1:
             return [task() for task in tasks]
@@ -89,17 +121,25 @@ class ProcessShardExecutor(TileExecutor):
         if pool is None:
             return [task() for task in tasks]
         futures: List[concurrent.futures.Future] = []
+        broken: Optional[BaseException] = None
         try:
             for task in tasks:
                 futures.append(pool.submit(task.fn, *task.args))
-        except (OSError, BrokenProcessPool):
+        except OSError as exc:
             # workers are forked lazily inside submit(): a sandbox that
-            # blocks fork raises plain OSError here, and a worker dying
-            # mid-loop marks the pool broken for the next submit — keep
+            # blocks fork raises plain OSError here — that environment
+            # never yields a working pool, so degrade permanently; keep
             # the shards already submitted, run the remainder inline
             # (kept separate from result collection so a *task* raising
             # OSError is not misread as a pool failure)
             self.degraded = True
+            logger.warning(
+                "process pool unavailable (%s); running shard batch "
+                "inline serially", exc)
+        except BrokenProcessPool as exc:
+            # a worker died mid-loop and the pool refuses further
+            # submits; the unsubmitted shards run inline below
+            broken = exc
         if futures:
             concurrent.futures.wait(futures)
         results: List[Any] = []
@@ -108,12 +148,16 @@ class ProcessShardExecutor(TileExecutor):
                 try:
                     results.append(futures[index].result())
                     continue
-                except BrokenProcessPool:
-                    # this worker died (OOM, sandbox kill): recompute the
-                    # shard inline; genuine task exceptions propagate
-                    self.degraded = True
+                except BrokenProcessPool as exc:
+                    # this worker died (OOM, sandbox kill); genuine task
+                    # exceptions propagate
+                    broken = exc
+            # the retry-exactly-once: recompute the failed or
+            # unsubmitted shard inline (a retry that raises propagates)
             results.append(task())
-        if self.degraded:
+        if broken is not None:
+            self._retire_broken_pool(broken)
+        elif self.degraded:
             self.shutdown()
         return results
 

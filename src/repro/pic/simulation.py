@@ -141,6 +141,11 @@ class Simulation:
             kernel_tier=self.backend_selection.kernel_tier,
         )
         self.energy = EnergyDiagnostic()
+        #: one-shot flag set by a :mod:`repro.ckpt` restore when the
+        #: re-loaded history already holds the record for the current
+        #: step; the next recording run consumes it instead of writing a
+        #: duplicate initial snapshot
+        self._skip_initial_energy_record = False
         #: accumulated hardware counters from the deposition strategy
         self.deposition_counters = KernelCounters()
         #: the stage graph every step runs through (:mod:`repro.pipeline`);
@@ -207,7 +212,10 @@ class Simulation:
         """Run ``steps`` steps (defaults to the configured ``max_steps``)."""
         n = self.config.max_steps if steps is None else steps
         if record_energy:
-            self._record_energy()
+            if self._skip_initial_energy_record:
+                self._skip_initial_energy_record = False
+            else:
+                self._record_energy()
         for _ in range(n):
             self.step()
             if record_energy:

@@ -167,4 +167,7 @@ class LWFAWorkload:
             load_plasma_slab(grid, container, species, z_lo=z_lo, z_hi=z_hi,
                              rng=rng)
 
+        # repro.ckpt captures/restores the stream through this attribute
+        # so a resumed run injects bitwise-identical plasma
+        inject.rng = rng
         return inject

@@ -40,6 +40,27 @@ API_SURFACE = {
         "register_kernel_tier",
         "use_backend",
     ),
+    "repro.ckpt": (
+        "CKPT_DIR_ENV",
+        "CampaignProgress",
+        "CheckpointHook",
+        "CorruptSnapshotError",
+        "DEFAULT_CHECKPOINT_DIR",
+        "LoadedSnapshot",
+        "SNAPSHOT_VERSION",
+        "SnapshotError",
+        "SnapshotMismatchError",
+        "capture_state",
+        "default_checkpoint_dir",
+        "latest_valid_snapshot",
+        "list_snapshots",
+        "read_snapshot",
+        "restore_simulation",
+        "restore_state",
+        "save_simulation",
+        "snapshot_path",
+        "write_snapshot",
+    ),
     "repro.pipeline": (
         "BreakdownTimingHook",
         "DOMAIN_STAGE_SET",

@@ -1,0 +1,327 @@
+"""Fault injection: worker death, torn writes, kill-and-resume recovery.
+
+Every failure mode the checkpoint/restart subsystem claims to survive is
+injected deterministically here (:mod:`repro.ckpt.faults`) and the
+recovery contract asserted: retried work produces the same results as an
+undisturbed run, corrupt state is detected rather than trusted, and a
+SIGKILL'd campaign auto-resumes to identical deterministic output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.campaign import Campaign
+from repro.ckpt.faults import (
+    SPEC_KILL_MARKER_ENV,
+    BrokenPoolOnce,
+    KillSwitch,
+    chaos_shard_task,
+    flip_byte,
+    killing_spec_executor,
+    truncate_file,
+)
+from repro.ckpt.progress import CampaignProgress
+from repro.exec.base import TileTask
+from repro.exec.process import ProcessShardExecutor, make_process_pool
+from repro.workloads.uniform import UniformPlasmaWorkload
+
+HAVE_PROCESS_POOLS = make_process_pool(2) is not None
+
+
+def _square(x):
+    return x * x
+
+
+def square_tasks(n=6):
+    return [TileTask(_square, (i,)) for i in range(n)]
+
+
+def small_workloads(count=2):
+    return [UniformPlasmaWorkload(n_cell=(4, 4, 4), tile_size=(4, 4, 4),
+                                  ppc=ppc, max_steps=1)
+            for ppc in (1, 8, 27, 64)[:count]]
+
+
+def make_campaign(tmp_path, *, workloads=2, resume=False, jobs=1,
+                  checkpoint=True):
+    return Campaign.from_grid(
+        small_workloads(workloads), ["Baseline"], steps=1, warmup_steps=0,
+        jobs=jobs,
+        checkpoint_dir=str(tmp_path / "ck") if checkpoint else None,
+        resume=resume)
+
+
+def result_fields(outcome):
+    """Deterministic per-cell payloads (timing dropped)."""
+    return [entry.result.deterministic_fields() for entry in outcome]
+
+
+# ----------------------------------------------------------------------
+# fixtures of the harness itself
+# ----------------------------------------------------------------------
+
+class TestHarness:
+    def test_kill_switch_lifecycle(self, tmp_path):
+        switch = KillSwitch(str(tmp_path / "marker"))
+        assert not switch.armed
+        switch.arm()
+        assert switch.armed
+        switch.disarm()
+        assert not switch.armed
+        assert switch.fire() is False  # unarmed: must not kill us
+
+    def test_truncate_and_flip(self, tmp_path):
+        path = str(tmp_path / "blob")
+        with open(path, "wb") as fh:
+            fh.write(bytes(range(100)))
+        assert truncate_file(path) == 50
+        assert os.path.getsize(path) == 50
+        offset = flip_byte(path)
+        data = open(path, "rb").read()
+        assert data[offset] == (offset ^ 0xFF)
+        with open(path, "wb"):
+            pass
+        with pytest.raises(ValueError):
+            flip_byte(path)
+
+    def test_broken_pool_once_validates_mode(self):
+        with pytest.raises(ValueError):
+            BrokenPoolOnce(fail="never")
+
+
+# ----------------------------------------------------------------------
+# executor recovery (satellite: retry-once + rebuild-once semantics)
+# ----------------------------------------------------------------------
+
+class TestExecutorRecovery:
+    def run_with_pool(self, executor, pool, caplog):
+        executor._pool = pool
+        with caplog.at_level("WARNING", logger="repro.exec.process"):
+            return executor.run(square_tasks())
+
+    def test_worker_death_mid_task_recovers_inline(self, caplog):
+        executor = ProcessShardExecutor(num_shards=2)
+        results = self.run_with_pool(
+            executor, BrokenPoolOnce(fail="result", at=2), caplog)
+        assert results == [i * i for i in range(6)]
+        assert executor.pool_failures == 1
+        assert not executor.degraded  # one incident is forgiven
+        assert executor._pool is None  # broken pool was retired
+        assert any("died mid-run" in rec.message for rec in caplog.records)
+
+    def test_pool_break_at_submit_recovers_inline(self, caplog):
+        executor = ProcessShardExecutor(num_shards=2)
+        results = self.run_with_pool(
+            executor, BrokenPoolOnce(fail="submit", at=3), caplog)
+        assert results == [i * i for i in range(6)]
+        assert executor.pool_failures == 1
+        assert not executor.degraded
+
+    def test_second_incident_degrades_permanently(self, caplog):
+        executor = ProcessShardExecutor(num_shards=2)
+        self.run_with_pool(executor, BrokenPoolOnce(fail="result"), caplog)
+        results = self.run_with_pool(
+            executor, BrokenPoolOnce(fail="result"), caplog)
+        assert results == [i * i for i in range(6)]
+        assert executor.pool_failures == 2
+        assert executor.degraded
+        assert any("degrading to serial" in rec.message
+                   for rec in caplog.records)
+        # degraded executors keep working, inline
+        assert executor.run(square_tasks()) == [i * i for i in range(6)]
+
+    def test_task_exceptions_are_not_pool_failures(self):
+        def boom(x):
+            raise RuntimeError("genuine task failure")
+
+        executor = ProcessShardExecutor(num_shards=2)
+        executor._pool = BrokenPoolOnce(fail="result", at=10_000)  # never
+        with pytest.raises(RuntimeError, match="genuine task failure"):
+            executor.run([TileTask(boom, (i,)) for i in range(3)])
+        assert executor.pool_failures == 0
+
+    @pytest.mark.skipif(not HAVE_PROCESS_POOLS,
+                        reason="process pools unavailable in this sandbox")
+    def test_real_sigkilled_worker_recovers(self, tmp_path, caplog):
+        """A genuinely SIGKILL'd worker process: the executor recomputes
+        the lost shards inline and later batches run in a fresh pool."""
+        switch = KillSwitch(str(tmp_path / "marker"))
+        switch.arm()
+        executor = ProcessShardExecutor(num_shards=2)
+        tasks = [TileTask(chaos_shard_task, (switch.path, i))
+                 for i in range(4)]
+        try:
+            with caplog.at_level("WARNING", logger="repro.exec.process"):
+                results = executor.run(tasks)
+            assert results == [0, 1, 2, 3]
+            assert executor.pool_failures == 1
+            assert not executor.degraded
+            # next batch gets a rebuilt pool and completes clean
+            assert executor.run(tasks) == [0, 1, 2, 3]
+            assert executor.pool_failures == 1
+        finally:
+            executor.shutdown()
+            switch.disarm()
+
+
+# ----------------------------------------------------------------------
+# campaign pool recovery
+# ----------------------------------------------------------------------
+
+class TestCampaignPoolRecovery:
+    def run_with_fake_pool(self, monkeypatch, caplog, fake_pool):
+        import repro.analysis.campaign as campaign_module
+
+        campaign = Campaign.from_grid(
+            small_workloads(3), ["Baseline"], steps=1, warmup_steps=0,
+            jobs=2)
+        monkeypatch.setattr(campaign_module.Campaign, "_make_pool",
+                            lambda self: fake_pool)
+        with caplog.at_level("WARNING", logger="repro.analysis.campaign"):
+            outcome = campaign.run()
+        assert campaign.degraded
+        return outcome
+
+    def reference(self):
+        return result_fields(Campaign.from_grid(
+            small_workloads(3), ["Baseline"], steps=1,
+            warmup_steps=0).run())
+
+    def test_worker_death_mid_cell_retries_serially(self, monkeypatch,
+                                                    caplog):
+        outcome = self.run_with_fake_pool(
+            monkeypatch, caplog, BrokenPoolOnce(fail="result", at=1))
+        assert result_fields(outcome) == self.reference()
+        assert any("died mid-cell" in rec.message for rec in caplog.records)
+
+    def test_pool_break_at_submit_runs_rest_serially(self, monkeypatch,
+                                                     caplog):
+        outcome = self.run_with_fake_pool(
+            monkeypatch, caplog, BrokenPoolOnce(fail="submit", at=1))
+        assert result_fields(outcome) == self.reference()
+        assert any("broke during submit" in rec.message
+                   for rec in caplog.records)
+
+
+# ----------------------------------------------------------------------
+# campaign checkpoint / auto-resume
+# ----------------------------------------------------------------------
+
+class TestCampaignResume:
+    def test_interrupted_campaign_resumes_identically(self, tmp_path):
+        reference = result_fields(make_campaign(tmp_path / "ref",
+                                                workloads=4).run())
+        # "crash" after two of four cells: run a smaller grid sharing the
+        # same checkpoint directory, then resume the full grid
+        partial = make_campaign(tmp_path, workloads=2)
+        partial.run()
+        progress = CampaignProgress(str(tmp_path / "ck"))
+        assert len(progress.load()) == 2
+
+        resumed = make_campaign(tmp_path, workloads=4, resume=True).run()
+        flags = [entry.resumed for entry in resumed]
+        assert flags == [True, True, False, False]
+        assert all(not entry.cache_hit for entry in resumed)
+        assert result_fields(resumed) == reference
+
+    def test_resumed_entries_survive_into_json(self, tmp_path):
+        make_campaign(tmp_path, workloads=1).run()
+        outcome = make_campaign(tmp_path, workloads=1, resume=True).run()
+        row = outcome.to_json()["results"][0]
+        assert row["resumed"] is True
+
+    def test_corrupt_progress_file_recomputes(self, tmp_path, caplog):
+        reference = result_fields(make_campaign(tmp_path / "ref",
+                                                workloads=2).run())
+        campaign = make_campaign(tmp_path, workloads=2)
+        campaign.run()
+        flip_byte(str(tmp_path / "ck" / "campaign.ckpt"))
+        with caplog.at_level("WARNING", logger="repro.ckpt.progress"):
+            resumed = make_campaign(tmp_path, workloads=2,
+                                    resume=True).run()
+        assert any("unusable campaign progress" in rec.message
+                   for rec in caplog.records)
+        assert [entry.resumed for entry in resumed] == [False, False]
+        assert result_fields(resumed) == reference
+
+    def test_truncated_progress_file_recomputes(self, tmp_path):
+        campaign = make_campaign(tmp_path, workloads=1)
+        campaign.run()
+        truncate_file(str(tmp_path / "ck" / "campaign.ckpt"))
+        resumed = make_campaign(tmp_path, workloads=1, resume=True).run()
+        assert [entry.resumed for entry in resumed] == [False]
+
+    def test_progress_interval_buffers_then_flushes(self, tmp_path):
+        progress = CampaignProgress(str(tmp_path), every=2)
+        progress.record("k1", {"spec": 1}, {"r": 1})
+        assert not os.path.exists(progress.path)  # buffered below interval
+        progress.record("k2", {"spec": 2}, {"r": 2})
+        assert os.path.exists(progress.path)
+        loaded = CampaignProgress(str(tmp_path)).load()
+        assert set(loaded) == {"k1", "k2"}
+        progress.flush()  # clean: must be a no-op, not a rewrite
+        mtime = os.path.getmtime(progress.path)
+        progress.flush()
+        assert os.path.getmtime(progress.path) == mtime
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="requires a checkpoint_dir"):
+            Campaign([], resume=True)
+
+    @pytest.mark.skipif(not HAVE_PROCESS_POOLS,
+                        reason="process pools unavailable in this sandbox")
+    def test_sigkilled_campaign_worker_retries_once(self, tmp_path,
+                                                    monkeypatch, caplog):
+        """A campaign worker process SIGKILL'd mid-cell: the pool breaks,
+        the cell is retried serially, results match the clean run."""
+        import repro.analysis.campaign as campaign_module
+
+        reference = result_fields(Campaign.from_grid(
+            small_workloads(2), ["Baseline"], steps=1,
+            warmup_steps=0).run())
+        switch = KillSwitch(str(tmp_path / "marker"))
+        switch.arm()
+        monkeypatch.setenv(SPEC_KILL_MARKER_ENV, switch.path)
+        monkeypatch.setattr(campaign_module, "_execute_spec_payload",
+                            killing_spec_executor)
+        campaign = Campaign.from_grid(
+            small_workloads(2), ["Baseline"], steps=1, warmup_steps=0,
+            jobs=2)
+        try:
+            with caplog.at_level("WARNING",
+                                 logger="repro.analysis.campaign"):
+                outcome = campaign.run()
+        finally:
+            switch.disarm()
+        assert result_fields(outcome) == reference
+        assert campaign.degraded
+        assert any("worker" in rec.message for rec in caplog.records)
+
+
+# ----------------------------------------------------------------------
+# cache durability (satellite: fsync before and after the rename)
+# ----------------------------------------------------------------------
+
+class TestCacheDurability:
+    def test_put_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        from repro.analysis.cache import ResultCache
+
+        synced = []
+        real_fsync = os.fsync
+
+        def spying_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spying_fsync)
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = "ab" + "0" * 62
+        assert cache.put(key, {"spec": 1}, {"result": 2}) is not None
+        # one fsync for the temp file's bytes, one for the directory
+        # entry after the rename
+        assert len(synced) == 2
+        assert cache.get(key)["result"] == {"result": 2}
