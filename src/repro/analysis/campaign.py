@@ -49,6 +49,8 @@ from repro.config import SortingPolicyConfig
 from repro.exec.process import make_process_pool
 from repro.hardware.cost_model import CostModel
 from repro.hardware.spec import ArchSpec
+from repro.obs.log import log_event
+from repro.obs.registry import telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -117,9 +119,10 @@ def build_workload(kind: str, params: Mapping):
     # trip; rebuild them from the declared field types
     from repro.backend import BackendConfig
     from repro.config import ExecutionConfig
+    from repro.obs import ObsConfig
 
     nested = {"sorting": SortingPolicyConfig, "execution": ExecutionConfig,
-              "backend": BackendConfig}
+              "backend": BackendConfig, "observe": ObsConfig}
     for name, config_cls in nested.items():
         value = kwargs.get(name)
         if isinstance(value, Mapping):
@@ -265,6 +268,9 @@ class ExperimentSpec:
             # from the key (CLI and programmatic sweeps of the same
             # experiment then share cache entries)
             params.pop("max_steps", None)
+        # observability is inert to results (a traced run is bitwise
+        # identical to an untraced one), so it never splits cache keys
+        params.pop("observe", None)
         backend = params.pop("backend", None)
         if isinstance(backend, BackendConfig):
             backend = dataclasses.asdict(backend)
@@ -437,6 +443,21 @@ class CampaignResult:
             out.setdefault(label, {})[entry.spec.configuration] = entry.result
         return out
 
+    def aggregated_metrics(self) -> Dict[str, float]:
+        """Per-cell telemetry counters summed across every entry.
+
+        Cells report the deterministic counter snapshot of their own run
+        (``ExperimentResult.metrics``); summing them gives the campaign
+        totals — particles pushed, tiles deposited, migrations — whatever
+        mix of serial, pooled and cache-replayed execution produced the
+        entries.  Empty when the cells ran without observability.
+        """
+        totals: Dict[str, float] = {}
+        for entry in self.entries:
+            for name, value in entry.result.metrics.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return {name: totals[name] for name in sorted(totals)}
+
     def to_json(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "results": [entry.to_json() for entry in self.entries],
@@ -446,6 +467,9 @@ class CampaignResult:
         }
         if self.cache_stats is not None:
             payload["cache"] = self.cache_stats.as_dict()
+        metrics = self.aggregated_metrics()
+        if metrics:
+            payload["metrics"] = metrics
         return payload
 
 
@@ -532,6 +556,16 @@ class Campaign:
         # the reported cache stats cover this run only even when the
         # ResultCache object is shared across campaigns
         self.degraded = False
+        # captured once: each cell's Simulation re-activates the global
+        # telemetry for its own run, so campaign accounting must keep
+        # recording into the handle that was active when the run began
+        obs = telemetry()
+        obs.count("campaign.cells", len(self.specs))
+        with obs.span("campaign", cat="campaign",
+                      args={"cells": len(self.specs), "jobs": self.jobs}):
+            return self._run(obs)
+
+    def _run(self, obs) -> CampaignResult:
         stats_before = (dataclasses.replace(self.cache.stats)
                         if self.cache is not None else None)
         entries: List[Optional[CampaignEntry]] = [None] * len(self.specs)
@@ -565,6 +599,7 @@ class Campaign:
                     # like any other corrupt entry and recompute
                     self.cache.reclassify_corrupt_hit(cache_key)
                 else:
+                    obs.count("campaign.cache.hits")
                     entries[index] = CampaignEntry(
                         spec=spec, result=result,
                         cache_hit=True, cache_key=cache_key)
@@ -575,14 +610,19 @@ class Campaign:
                 try:
                     result = ExperimentResult.from_json(record["result"])
                 except (KeyError, TypeError, ValueError, AttributeError):
-                    logger.warning(
+                    log_event(
+                        "campaign.progress_malformed",
                         "ignoring malformed progress record for %s; "
-                        "recomputing the cell", spec.label())
+                        "recomputing the cell", spec.label(),
+                        logger=logger)
                 else:
+                    obs.count("campaign.resumed")
                     entries[index] = CampaignEntry(
                         spec=spec, result=result, cache_hit=False,
                         cache_key=cache_key, resumed=True)
                     continue
+            if self.cache is not None:
+                obs.count("campaign.cache.misses")
             pending.append((index, spec, key))
 
         # a grid that accidentally repeats a cell (duplicate PPC value,
@@ -686,9 +726,11 @@ class Campaign:
                 # dying mid-loop breaks the pool for the next submit;
                 # whatever was already submitted is still collected below
                 self.degraded = True
-                logger.warning(
+                log_event(
+                    "campaign.pool_broke_submit",
                     "campaign worker pool broke during submit (%s); "
-                    "unsubmitted cells will run serially in-process", exc)
+                    "unsubmitted cells will run serially in-process", exc,
+                    logger=logger)
             # as_completed (not a batch wait) so each payload is emitted —
             # and persisted by the caller — the moment its worker finishes,
             # even if the main process dies before the batch completes
@@ -702,9 +744,11 @@ class Campaign:
                     # by the serial sweep below (a retry that raises
                     # propagates)
                     self.degraded = True
-                    logger.warning(
+                    log_event(
+                        "campaign.worker_died",
                         "campaign worker died mid-cell (%s); the cell "
-                        "will be retried serially in-process once", exc)
+                        "will be retried serially in-process once", exc,
+                        logger=logger)
                 except Exception as exc:
                     # genuine experiment failure: finish collecting (and
                     # persisting) the siblings first, then re-raise

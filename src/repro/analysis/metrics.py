@@ -40,6 +40,10 @@ class ExperimentResult:
     #: here)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: deterministic telemetry counters captured over the measured steps
+    #: (``Telemetry.snapshot()`` — wall-clock and executor-shaped series
+    #: are already excluded there); empty when observability was off
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def kernel_seconds(self) -> float:
@@ -94,6 +98,7 @@ class ExperimentResult:
             "wall_seconds": self.wall_seconds,
             "stage_seconds": dict(self.stage_seconds),
             "extra": dict(self.extra),
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
@@ -111,6 +116,8 @@ class ExperimentResult:
                            in payload.get("stage_seconds", {}).items()},
             extra={str(k): float(v) for k, v
                    in payload.get("extra", {}).items()},
+            metrics={str(k): float(v) for k, v
+                     in payload.get("metrics", {}).items()},
         )
 
     def deterministic_fields(self) -> Dict[str, object]:
@@ -118,8 +125,10 @@ class ExperimentResult:
 
         ``wall_seconds`` and ``stage_seconds`` are interpreter wall-clock
         and differ between otherwise identical runs; everything else —
-        the modelled timing above all — must match exactly whether a spec
-        ran serially, in a worker process, or was replayed from cache.
+        the modelled timing above all, and the ``metrics`` telemetry
+        counters (already filtered to their deterministic subset) — must
+        match exactly whether a spec ran serially, in a worker process,
+        or was replayed from cache.
         """
         payload = self.to_json()
         payload.pop("wall_seconds")

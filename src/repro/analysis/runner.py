@@ -74,8 +74,11 @@ def run_deposition_experiment(workload, configuration: str, *,
         # the stage breakdown must cover exactly the measured steps, like
         # the kernel counters and wall clock (warmup contaminated the
         # reported stage_seconds — the Figure-1 style breakdowns — before
-        # this reset existed)
+        # this reset existed); ditto the telemetry counters reported as
+        # the result's ``metrics``
         simulation.breakdown.reset()
+        if simulation.telemetry.enabled:
+            simulation.telemetry.reset()
 
         n_steps = workload.max_steps if steps is None else steps
         start = time.perf_counter()
@@ -98,6 +101,10 @@ def run_deposition_experiment(workload, configuration: str, *,
         # schema and the Figure-1/8 tables are keyed on the historical
         # bucket names
         stage_seconds=dict(simulation.breakdown.seconds),
+        # deterministic counter snapshot (wall-clock / executor-shaped
+        # series excluded) — empty unless the workload enabled telemetry
+        metrics=(simulation.telemetry.snapshot()
+                 if simulation.telemetry.enabled else {}),
         extra={
             "effective_flops": simulation.deposition_counters.effective_flops,
             "global_sorts": float(getattr(strategy, "global_sorts_performed", 0)),

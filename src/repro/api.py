@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Union
 
 from repro.backend import BackendConfig
 from repro.config import SimulationConfig
+from repro.obs import ObsConfig, Telemetry
 from repro.pic.diagnostics import (
     EnergyDiagnostic,
     EnergyRecord,
@@ -56,6 +57,17 @@ def _coerce_backend(backend: Union[BackendConfig, str]) -> BackendConfig:
     raise TypeError(
         f"backend must be a BackendConfig or a kernel-tier name, "
         f"got {backend!r}"
+    )
+
+
+def _coerce_observe(observe: Union[ObsConfig, bool]) -> ObsConfig:
+    """An ``observe=`` argument as a full :class:`~repro.obs.ObsConfig`."""
+    if isinstance(observe, ObsConfig):
+        return observe
+    if isinstance(observe, bool):
+        return ObsConfig(enabled=observe)
+    raise TypeError(
+        f"observe must be an ObsConfig or a bool, got {observe!r}"
     )
 
 
@@ -84,13 +96,19 @@ class Session:
     def __init__(self, config: SimulationConfig, *,
                  deposition: Optional[DepositionStrategy] = None,
                  load_plasma: bool = True,
-                 backend: Union[BackendConfig, str, None] = None):
+                 backend: Union[BackendConfig, str, None] = None,
+                 observe: Union[ObsConfig, bool, None] = None):
         """``backend`` overrides ``config.backend``: a
         :class:`~repro.backend.BackendConfig`, or a kernel-tier name
         (``"auto"`` / ``"oracle"`` / ``"fused"``) as shorthand.
+        ``observe`` overrides ``config.observe``: an
+        :class:`~repro.obs.ObsConfig`, or a bool as shorthand for
+        counters-only telemetry.
         """
         if backend is not None:
             config = config.with_updates(backend=_coerce_backend(backend))
+        if observe is not None:
+            config = config.with_updates(observe=_coerce_observe(observe))
         self._simulation = Simulation(config, deposition=deposition,
                                       load_plasma=load_plasma)
 
@@ -107,18 +125,24 @@ class Session:
     @classmethod
     def from_workload(cls, workload, *,
                       deposition: Optional[DepositionStrategy] = None,
-                      backend: Union[BackendConfig, str, None] = None
+                      backend: Union[BackendConfig, str, None] = None,
+                      observe: Union[ObsConfig, bool, None] = None
                       ) -> "Session":
         """Build a session from a workload builder.
 
         ``workload`` is anything exposing ``build_simulation`` (all of
         :mod:`repro.workloads`, plus user-defined builders).  ``backend``
         overrides the workload's backend selection (a
-        :class:`~repro.backend.BackendConfig` or a kernel-tier name).
+        :class:`~repro.backend.BackendConfig` or a kernel-tier name);
+        ``observe`` overrides its telemetry selection (an
+        :class:`~repro.obs.ObsConfig`, or a bool for counters-only).
         """
         if backend is not None:
             workload = dataclasses.replace(
                 workload, backend=_coerce_backend(backend))
+        if observe is not None:
+            workload = dataclasses.replace(
+                workload, observe=_coerce_observe(observe))
         return cls.from_simulation(
             workload.build_simulation(deposition=deposition))
 
@@ -157,6 +181,11 @@ class Session:
         return self._simulation.energy
 
     @property
+    def telemetry(self) -> Telemetry:
+        """The run's telemetry registry (:mod:`repro.obs`)."""
+        return self._simulation.telemetry
+
+    @property
     def step_index(self) -> int:
         return self._simulation.step_index
 
@@ -189,19 +218,26 @@ class Session:
         """
         simulation = self._simulation
         n = simulation.config.max_steps if steps is None else steps
-        if record_energy:
-            if simulation._skip_initial_energy_record:
-                # a ckpt restore re-loaded a history that already holds
-                # the record for the current step; recording it again
-                # would fork the history from an uninterrupted run
-                simulation._skip_initial_energy_record = False
-            else:
-                simulation._record_energy()
-        for _ in range(n):
-            simulation.pipeline.run_step()
-            energy = simulation._record_energy() if record_energy else None
-            yield StepResult(step=simulation.step_index,
-                             time=simulation.time, energy=energy)
+        telemetry = simulation.telemetry
+        telemetry.begin_span("run", cat="run", args={"steps": n})
+        try:
+            if record_energy:
+                if simulation._skip_initial_energy_record:
+                    # a ckpt restore re-loaded a history that already
+                    # holds the record for the current step; recording it
+                    # again would fork the history from an uninterrupted
+                    # run
+                    simulation._skip_initial_energy_record = False
+                else:
+                    simulation._record_energy()
+            for _ in range(n):
+                simulation.pipeline.run_step()
+                energy = (simulation._record_energy()
+                          if record_energy else None)
+                yield StepResult(step=simulation.step_index,
+                                 time=simulation.time, energy=energy)
+        finally:
+            telemetry.end_span("run")
 
     def run_all(self, steps: Optional[int] = None,
                 record_energy: bool = False) -> RuntimeBreakdown:

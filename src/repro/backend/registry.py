@@ -46,6 +46,8 @@ from typing import (
 )
 
 from repro.backend import kernels_numba, kernels_oracle
+from repro.obs.log import log_event
+from repro.obs.registry import telemetry
 from repro.backend.base import (
     TIER_AUTO,
     TIER_FUSED,
@@ -176,6 +178,7 @@ class KernelRegistry:
         cached = self._resolved.get(request)
         if cached is not None:
             return cached
+        telemetry().count("backend.tier_resolves")
         if request == TIER_AUTO:
             tier = self._resolve_auto()
         else:
@@ -194,10 +197,12 @@ class KernelRegistry:
                 break
             if name not in self._fallback_logged:
                 self._fallback_logged.add(name)
-                logger.info(
+                log_event(
+                    "tier.fallback",
                     "kernel tier %r unavailable (%s); auto-selection "
                     "falls back to the next tier",
                     name, tier.unavailable_reason() or "dependency missing",
+                    logger=logger, level=logging.INFO, tier=name,
                 )
         if chosen is None:
             raise RuntimeError("no available kernel tier is registered")

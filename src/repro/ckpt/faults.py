@@ -31,6 +31,8 @@ import signal
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.registry import telemetry
+
 __all__ = [
     "BrokenPoolOnce",
     "KillSwitch",
@@ -84,6 +86,7 @@ class KillSwitch:
             os.remove(self.path)
         except OSError:
             return False
+        telemetry().count("faults.injected")
         kill_current_process()
         return True  # pragma: no cover - unreachable
 
@@ -172,11 +175,13 @@ class BrokenPoolOnce:
         self.submitted += 1
         if self.fail == "submit" and index == self.at:
             self.broke = True
+            telemetry().count("faults.injected")
             raise BrokenProcessPool(
                 "injected fault: pool broke at submit")
         future: "concurrent.futures.Future" = concurrent.futures.Future()
         if self.fail == "result" and index == self.at:
             self.broke = True
+            telemetry().count("faults.injected")
             future.set_exception(BrokenProcessPool(
                 "injected fault: worker died mid-task"))
             return future

@@ -33,6 +33,7 @@ from repro.ckpt.format import (
     read_snapshot,
     write_snapshot,
 )
+from repro.obs.log import log_event
 
 __all__ = ["PROGRESS_FILENAME", "CampaignProgress"]
 
@@ -76,15 +77,18 @@ class CampaignProgress:
         except FileNotFoundError:
             return {}
         except (SnapshotError, OSError) as exc:
-            logger.warning(
+            log_event(
+                "progress.unusable",
                 "ignoring unusable campaign progress file %s: %s",
-                self.path, exc)
+                self.path, exc, logger=logger)
             return {}
         completed = meta.get("completed")
         if meta.get("kind") != _PROGRESS_KIND or not isinstance(
                 completed, dict):
-            logger.warning(
-                "ignoring %s: not a campaign progress record", self.path)
+            log_event(
+                "progress.not_a_record",
+                "ignoring %s: not a campaign progress record", self.path,
+                logger=logger)
             return {}
         self._completed = dict(completed)
         return dict(self._completed)
@@ -107,9 +111,10 @@ class CampaignProgress:
         try:
             write_snapshot(self.path, meta, {})
         except OSError as exc:
-            logger.warning(
+            log_event(
+                "progress.write_failed",
                 "could not write campaign progress file %s: %s",
-                self.path, exc)
+                self.path, exc, logger=logger)
             return
         self._dirty = False
         self._pending = 0

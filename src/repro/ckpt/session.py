@@ -38,6 +38,7 @@ rebinding them would silently fork the state.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 import numpy as np
@@ -73,10 +74,12 @@ STATE_VERSION = 1
 #: backend, kernel tier and domain split are axes the parity contract
 #: pins to bitwise-identical results, so a snapshot is portable across
 #: them; ``max_steps`` is a loop bound, not physics — resuming with a
-#: larger total is the whole point.  The *shard count* stays in: it
-#: fixes the deposition merge order, so results are only pinned for the
-#: same ``num_shards`` (see the contract in :mod:`repro.exec.base`).
-_FINGERPRINT_EXCLUDE = ("max_steps", "domain", "backend")
+#: larger total is the whole point; ``observe`` is telemetry — a traced
+#: run is bitwise identical to an untraced one, so snapshots are
+#: portable across observability settings.  The *shard count* stays in:
+#: it fixes the deposition merge order, so results are only pinned for
+#: the same ``num_shards`` (see the contract in :mod:`repro.exec.base`).
+_FINGERPRINT_EXCLUDE = ("max_steps", "domain", "backend", "observe")
 
 
 def config_fingerprint(config: Any) -> str:
@@ -270,11 +273,26 @@ def restore_state(simulation: "Simulation", meta: Dict[str, Any],
 def save_simulation(simulation: "Simulation", path: str, *,
                     step_index: "int | None" = None) -> str:
     """Capture ``simulation`` and write it to ``path`` atomically."""
-    meta, arrays = capture_state(simulation, step_index=step_index)
-    return write_snapshot(path, meta, arrays)
+    from repro.obs.registry import telemetry
+
+    handle = telemetry()
+    with handle.span("ckpt.save", cat="ckpt"):
+        meta, arrays = capture_state(simulation, step_index=step_index)
+        written = write_snapshot(path, meta, arrays)
+    handle.count("ckpt.saves")
+    try:
+        handle.count("ckpt.bytes", os.path.getsize(written))
+    except OSError:  # pragma: no cover - raced removal
+        pass
+    return written
 
 
 def restore_simulation(simulation: "Simulation", path: str) -> None:
     """Read, verify and load the snapshot at ``path`` into ``simulation``."""
-    meta, arrays = read_snapshot(path)
-    restore_state(simulation, meta, arrays)
+    from repro.obs.registry import telemetry
+
+    handle = telemetry()
+    with handle.span("ckpt.restore", cat="ckpt"):
+        meta, arrays = read_snapshot(path)
+        restore_state(simulation, meta, arrays)
+    handle.count("ckpt.restores")

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.ckpt.format import SnapshotError, read_snapshot
+from repro.obs.log import log_event
 
 __all__ = [
     "CKPT_DIR_ENV",
@@ -92,8 +93,10 @@ def latest_valid_snapshot(directory: str) -> Optional[LoadedSnapshot]:
         try:
             meta, arrays = read_snapshot(path)
         except (SnapshotError, OSError) as exc:
-            logger.warning(
-                "skipping unusable snapshot %s: %s", path, exc)
+            log_event(
+                "ckpt.snapshot_skipped",
+                "skipping unusable snapshot %s: %s", path, exc,
+                logger=logger, path=path)
             continue
         return LoadedSnapshot(step=step, path=path, meta=meta,
                               arrays=arrays)

@@ -194,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
                                f"${CKPT_DIR_ENV} or {DEFAULT_CHECKPOINT_DIR}) "
                                "before executing; corrupt checkpoints are "
                                "detected and ignored")
+    campaign.add_argument("--trace", default=None, metavar="FILE",
+                          help="record a Chrome trace_event timeline of "
+                               "the campaign (repro.obs) and write it to "
+                               "FILE")
+    campaign.add_argument("--metrics", action="store_true",
+                          help="collect telemetry counters in every cell "
+                               "(repro.obs); the JSON output then embeds "
+                               "the aggregated campaign metrics")
     campaign.add_argument("--format", choices=("table", "csv", "json"),
                           default="table",
                           help="output format (default: table)")
@@ -257,6 +265,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "checkpoint directory and run only the remaining "
                           "steps; the resumed run is bitwise identical to "
                           "an uninterrupted one")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="record a Chrome trace_event timeline of the run "
+                          "(repro.obs) and write it to FILE; open it in "
+                          "Perfetto or chrome://tracing")
+    run.add_argument("--metrics", action="store_true",
+                     help="collect telemetry counters (repro.obs) and "
+                          "include the snapshot in the output")
+    run.add_argument("--health", action="store_true",
+                     help="enable per-step physics-health probes (energy "
+                          "drift, charge conservation, NaN/Inf guards)")
     run.add_argument("--format", choices=("table", "json"), default="table",
                      help="output format (default: table)")
     run.set_defaults(func=cmd_run)
@@ -280,10 +298,61 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list the registered analyzers and exit")
     lint.set_defaults(func=cmd_lint)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect trace files recorded with --trace",
+        description="Summarize or validate Chrome trace_event files "
+                    "written by the run/campaign --trace flag "
+                    "(repro.obs).",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-span timing totals and counter values of a trace file",
+        description="Aggregate a trace file: span counts and total "
+                    "microseconds, final counter values, instant-event "
+                    "counts and the maximum span nesting depth.",
+    )
+    summarize.add_argument("file", help="trace file (Chrome JSON or the "
+                                        "JSONL event log)")
+    summarize.add_argument("--format", choices=("table", "json"),
+                           default="table",
+                           help="output format (default: table)")
+    summarize.set_defaults(func=cmd_trace_summarize)
+    validate = trace_sub.add_parser(
+        "validate",
+        help="check a trace file against the trace_event schema",
+        description="Validate a Chrome trace file: JSON schema "
+                    "conformance, monotonic timestamps and strict "
+                    "begin/end span nesting; exits 1 on any violation.",
+    )
+    validate.add_argument("file", help="Chrome trace JSON file")
+    validate.set_defaults(func=cmd_trace_validate)
     return parser
 
 
-def _make_workload(family: str, *, ppc: int, args, execution=None):
+def _observe_config(args, *, trace: bool = False):
+    """The :class:`repro.obs.ObsConfig` requested by the CLI flags.
+
+    ``trace`` controls whether the per-run telemetry records span events
+    (the campaign command keeps cell tracing off — worker processes
+    cannot ship event timelines back — and traces at the campaign level
+    instead).
+    """
+    from repro.obs import ObsConfig
+
+    return ObsConfig(
+        enabled=bool(getattr(args, "metrics", False)
+                     or getattr(args, "trace", None)
+                     or getattr(args, "health", False)),
+        trace=trace,
+        health=bool(getattr(args, "health", False)),
+    )
+
+
+def _make_workload(family: str, *, ppc: int, args, execution=None,
+                   observe=None):
     """One workload builder with the CLI defaults (shared by both
     subcommands, so the per-family defaults exist in exactly one place)."""
     from repro.backend import BackendConfig
@@ -298,6 +367,8 @@ def _make_workload(family: str, *, ppc: int, args, execution=None):
                                                   "auto")),
         seed=args.seed,
     )
+    if observe is not None:
+        kwargs["observe"] = observe
     if execution is not None:
         kwargs["execution"] = execution
     if family == "uniform":
@@ -321,7 +392,9 @@ def _make_workload(family: str, *, ppc: int, args, execution=None):
 
 def _build_workloads(args) -> list:
     domains = args.domains or (1, 1, 1)
-    workloads = [_make_workload(args.workload, ppc=ppc, args=args)
+    observe = _observe_config(args)
+    workloads = [_make_workload(args.workload, ppc=ppc, args=args,
+                                observe=observe if observe.enabled else None)
                  for ppc in args.ppc]
     if domains != (1, 1, 1):
         # fail fast on a decomposition the tile lattice cannot support
@@ -413,7 +486,22 @@ def cmd_campaign(args, stdout=None) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
     )
-    outcome = campaign.run()
+    if args.trace or args.metrics:
+        # a campaign-level registry, scoped so Campaign.run captures it
+        # for its accounting; cells activate their own per-run handles
+        from repro.obs import ObsConfig, use_telemetry
+
+        with use_telemetry(ObsConfig(enabled=True,
+                                     trace=bool(args.trace))) as handle:
+            outcome = campaign.run()
+        if args.trace:
+            from repro.obs import export_chrome_trace
+
+            export_chrome_trace(handle, args.trace)
+            print(f"trace written to {args.trace} "
+                  f"({len(handle.events)} events)", file=sys.stderr)
+    else:
+        outcome = campaign.run()
 
     if args.format == "json":
         print(json.dumps(outcome.to_json(), indent=2, sort_keys=True),
@@ -432,8 +520,10 @@ def _build_run_workload(args):
     from repro.config import ExecutionConfig
 
     execution = ExecutionConfig(backend=args.backend, num_shards=args.shards)
+    observe = _observe_config(args, trace=bool(args.trace))
     return _make_workload(args.workload, ppc=args.ppc, args=args,
-                          execution=execution)
+                          execution=execution,
+                          observe=observe if observe.enabled else None)
 
 
 def cmd_run(args, stdout=None) -> int:
@@ -504,6 +594,18 @@ def cmd_run(args, stdout=None) -> int:
             ]
             payload["relative_energy_drift"] = \
                 session.energy.relative_energy_drift()
+        if args.metrics or args.trace or args.health:
+            # the full registry (deterministic=False keeps the time.* /
+            # exec.* series — this is a live report, not a cache artifact)
+            payload["metrics"] = session.telemetry.snapshot(
+                deterministic=False)
+        if args.trace:
+            from repro.obs import export_chrome_trace
+
+            export_chrome_trace(session.telemetry, args.trace)
+            print(f"trace written to {args.trace} "
+                  f"({len(session.telemetry.events)} events)",
+                  file=sys.stderr)
 
     if args.format == "json":
         payload["stages"] = list(payload["stages"])
@@ -526,6 +628,10 @@ def cmd_run(args, stdout=None) -> int:
     if args.record_energy:
         print(f"relative energy drift: "
               f"{payload['relative_energy_drift']:.3e}", file=stdout)
+    if args.metrics and payload.get("metrics"):
+        print("telemetry counters:", file=stdout)
+        for name, value in payload["metrics"].items():
+            print(f"  {name:32s} {value:g}", file=stdout)
     return 0
 
 
@@ -548,6 +654,60 @@ def cmd_lint(args, stdout=None) -> int:
         return 2
     print(format_findings(findings, fmt=args.format), file=stdout)
     return 1 if findings else 0
+
+
+def cmd_trace_summarize(args, stdout=None) -> int:
+    """Entry point of the ``trace summarize`` subcommand."""
+    from repro.obs import summarize_trace
+
+    stdout = stdout if stdout is not None else sys.stdout
+    try:
+        summary = summarize_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True), file=stdout)
+        return 0
+    print(f"{summary['events']} events, max span depth "
+          f"{summary['max_depth']}", file=stdout)
+    if summary["spans"]:
+        print("spans:", file=stdout)
+        for name, row in summary["spans"].items():
+            print(f"  {name:24s} x{row['count']:<6d} "
+                  f"{row['total_us'] / 1000.0:10.3f} ms", file=stdout)
+    if summary["counters"]:
+        print("counters (last sample):", file=stdout)
+        for series, values in summary["counters"].items():
+            for name, value in sorted(values.items()):
+                print(f"  {series}.{name:32s} {value:g}", file=stdout)
+    if summary["instants"]:
+        print("instant events:", file=stdout)
+        for name, count in summary["instants"].items():
+            print(f"  {name:32s} x{count}", file=stdout)
+    return 0
+
+
+def cmd_trace_validate(args, stdout=None) -> int:
+    """Entry point of the ``trace validate`` subcommand."""
+    from repro.obs import validate_chrome_trace
+
+    stdout = stdout if stdout is not None else sys.stdout
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_chrome_trace(payload)
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=stdout)
+        return 1
+    events = payload.get("traceEvents", [])
+    print(f"OK: {len(events)} events conform to the trace_event schema",
+          file=stdout)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -13,9 +13,11 @@ from typing import Sequence, Tuple
 
 from repro import constants
 
-# safe: repro.exec has no runtime dependency back on this module
+# safe: repro.exec, repro.backend and repro.obs have no runtime
+# dependency back on this module
 from repro.backend.base import BackendConfig
 from repro.exec.base import SUPPORTED_BACKENDS
+from repro.obs.config import ObsConfig
 
 #: Marker stored in a GPMA slot that holds no particle (paper:
 #: ``INVALID_PARTICLE_ID``).
@@ -345,6 +347,9 @@ class SimulationConfig:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     domain: DomainConfig = field(default_factory=DomainConfig)
     backend: BackendConfig = field(default_factory=BackendConfig)
+    #: observability selection (:mod:`repro.obs`); inert to results —
+    #: excluded from checkpoint fingerprints and campaign cache keys
+    observe: ObsConfig = field(default_factory=ObsConfig)
     seed: int = 12345
 
     def __post_init__(self) -> None:

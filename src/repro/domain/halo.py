@@ -39,6 +39,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.obs.registry import telemetry
+
 from repro.domain.decomposition import Decomposition, Subdomain
 
 #: field-name groups commonly exchanged together
@@ -123,6 +125,7 @@ class HaloExchange:
             plan = self._plans[mode]
         except KeyError:
             raise ValueError(f"unknown halo mode {mode!r}") from None
+        telemetry().count("domain.halo_exchanges")
         for axis in range(3):
             for sub, dest_layer, src_sub, src_layer in plan[axis]:
                 dest_region = self._region(axis, sub, dest_layer)

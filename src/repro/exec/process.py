@@ -33,6 +33,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, List, Optional, Sequence
 
 from repro.exec.base import BACKEND_PROCESSES, TileExecutor, TileTask
+from repro.obs.log import log_event
+from repro.obs.registry import telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -103,23 +105,37 @@ class ProcessShardExecutor(TileExecutor):
         self.pool_failures += 1
         if self.pool_failures > self.MAX_POOL_REBUILDS:
             self.degraded = True
-            logger.warning(
+            log_event(
+                "pool.degraded",
                 "process-shard worker died again (%s); failed shards "
                 "were recomputed inline, degrading to serial execution "
-                "for the rest of the run", cause)
+                "for the rest of the run", cause,
+                logger=logger, failures=self.pool_failures)
         else:
-            logger.warning(
+            telemetry().count("exec.pool_rebuilds")
+            log_event(
+                "pool.rebuild",
                 "process-shard worker died mid-run (%s); failed shards "
                 "were recomputed inline once, the pool will be rebuilt "
-                "on the next batch", cause)
+                "on the next batch", cause,
+                logger=logger, failures=self.pool_failures)
         self.shutdown()
 
     def run(self, tasks: Sequence[TileTask]) -> List[Any]:
+        handle = telemetry()
+        handle.count("exec.shard_batches")
+        handle.count("exec.shard_tasks", len(tasks))
         if len(tasks) <= 1:
             return [task() for task in tasks]
         pool = self._ensure_pool()
         if pool is None:
             return [task() for task in tasks]
+        with handle.span("shard_batch", cat="exec",
+                         args={"tasks": len(tasks)}):
+            return self._run_pooled(pool, tasks)
+
+    def _run_pooled(self, pool: concurrent.futures.ProcessPoolExecutor,
+                    tasks: Sequence[TileTask]) -> List[Any]:
         futures: List[concurrent.futures.Future] = []
         broken: Optional[BaseException] = None
         try:
@@ -133,9 +149,10 @@ class ProcessShardExecutor(TileExecutor):
             # (kept separate from result collection so a *task* raising
             # OSError is not misread as a pool failure)
             self.degraded = True
-            logger.warning(
+            log_event(
+                "pool.unavailable",
                 "process pool unavailable (%s); running shard batch "
-                "inline serially", exc)
+                "inline serially", exc, logger=logger)
         except BrokenProcessPool as exc:
             # a worker died mid-loop and the pool refuses further
             # submits; the unsubmitted shards run inline below

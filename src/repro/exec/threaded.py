@@ -19,6 +19,7 @@ import concurrent.futures
 from typing import Any, List, Optional, Sequence
 
 from repro.exec.base import BACKEND_THREADS, TileExecutor, TileTask
+from repro.obs.registry import telemetry
 
 
 class ThreadTileExecutor(TileExecutor):
@@ -40,13 +41,19 @@ class ThreadTileExecutor(TileExecutor):
         return self._pool
 
     def run(self, tasks: Sequence[TileTask]) -> List[Any]:
+        handle = telemetry()
+        handle.count("exec.shard_batches")
+        handle.count("exec.shard_tasks", len(tasks))
         if len(tasks) <= 1:
             return [task() for task in tasks]
         pool = self._ensure_pool()
-        futures = [pool.submit(task) for task in tasks]
-        concurrent.futures.wait(futures)
-        # .result() re-raises the first failing task's exception in order
-        return [f.result() for f in futures]
+        with handle.span("shard_batch", cat="exec",
+                         args={"tasks": len(tasks)}):
+            futures = [pool.submit(task) for task in tasks]
+            concurrent.futures.wait(futures)
+            # .result() re-raises the first failing task's exception in
+            # order
+            return [f.result() for f in futures]
 
     def shutdown(self) -> None:
         if self._pool is not None:

@@ -8,12 +8,12 @@ of a uniform-plasma run) and the normalised breakdown panel of Figure 8.
 from __future__ import annotations
 
 import time
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.registry import MetricSet
 from repro.pic.grid import Grid
 from repro.pic.particles import ParticleContainer
 
@@ -27,16 +27,35 @@ STAGES = (
 )
 
 
+#: metric-name prefixes the breakdown stores its seconds under
+_BUCKET_PREFIX = "time.bucket."
+_STAGE_PREFIX = "time.stage."
+
+
 class RuntimeBreakdown:
     """Accumulates wall-clock seconds per PIC stage.
 
-    Two granularities are kept in lockstep:
+    The breakdown is a *view over a metric registry*
+    (:class:`repro.obs.MetricSet`): every credited second lands under
+    ``time.bucket.<bucket>`` and ``time.stage.<stage>``, and the two
+    historical dict attributes are read-only projections of those
+    prefixes.  When a run observes (``ObsConfig.enabled``) the
+    simulation passes the active telemetry's metric set in, so the
+    breakdown and the exported metrics are one store; otherwise the
+    breakdown owns a private set and behaves exactly as before.
 
-    * ``seconds`` — the coarse *buckets* of :data:`STAGES`, the historical
-      Figure-1 categories every table/figure formatter consumes;
+    Two granularities, kept in lockstep by the single recording path
+    :meth:`_credit`:
+
+    * ``seconds`` — the coarse *buckets* of :data:`STAGES`, the
+      historical Figure-1 categories every table/figure formatter
+      consumes.  Every second recorded lands in exactly one bucket.
     * ``stage_seconds`` — the fine-grained pipeline stages
-      (:mod:`repro.pipeline`), one entry per :class:`~repro.pipeline.Stage`
-      name, filled by the pipeline's post-stage timing hook.
+      (:mod:`repro.pipeline`), one entry per
+      :class:`~repro.pipeline.Stage` name, filled by the pipeline's
+      post-stage timing hook.  A bucket's value is the sum of its
+      stages' values — except seconds credited through the legacy
+      bucket-only :meth:`record` path, which have no stage attribution.
 
     ``executor_name`` records which tile execution backend
     (:mod:`repro.exec`) produced the timings, and ``kernel_tier`` which
@@ -45,28 +64,44 @@ class RuntimeBreakdown:
     """
 
     def __init__(self, executor_name: str = "serial",
-                 kernel_tier: str = "oracle") -> None:
-        self.seconds: Dict[str, float] = defaultdict(float)
-        #: per-pipeline-stage seconds (finer than the ``seconds`` buckets)
-        self.stage_seconds: Dict[str, float] = defaultdict(float)
+                 kernel_tier: str = "oracle",
+                 metrics: Optional[MetricSet] = None) -> None:
+        #: the backing metric registry (shared with the telemetry when
+        #: observability is on, private otherwise)
+        self.metrics = metrics if metrics is not None else MetricSet()
         self.steps = 0
         self.executor_name = executor_name
         self.kernel_tier = kernel_tier
 
+    # ------------------------------------------------------------------
+    # the one recording path
+    # ------------------------------------------------------------------
+    def _credit(self, bucket: Optional[str], stage: Optional[str],
+                seconds: float) -> None:
+        """Credit ``seconds`` to a bucket and/or a pipeline stage."""
+        seconds = float(seconds)
+        if bucket is not None:
+            self.metrics.add(_BUCKET_PREFIX + bucket, seconds)
+        if stage is not None:
+            self.metrics.add(_STAGE_PREFIX + stage, seconds)
+
     def record(self, stage: str, seconds: float) -> None:
-        """Add ``seconds`` to the given stage."""
-        self.seconds[stage] += float(seconds)
+        """Legacy shim: credit ``seconds`` to the bucket ``stage``.
+
+        Bucket-only — no per-pipeline-stage attribution.  Kept for the
+        pre-pipeline call sites (``timeit`` blocks); new code times
+        through the pipeline's post-stage hook.
+        """
+        self._credit(stage, None, seconds)
 
     def record_stage(self, stage: str, bucket: str, seconds: float) -> None:
-        """Credit one pipeline stage *and* its coarse bucket.
+        """Legacy shim: credit one pipeline stage *and* its coarse bucket.
 
         Called by the pipeline's post-stage hook: ``stage`` is the
         pipeline stage name (``gather_push``, ``migrate``, ...), ``bucket``
         the :data:`STAGES` category it rolls up into.
         """
-        seconds = float(seconds)
-        self.stage_seconds[stage] += seconds
-        self.seconds[bucket] += seconds
+        self._credit(bucket, stage, seconds)
 
     def timeit(self, stage: str):
         """Context manager timing a stage with the wall clock."""
@@ -77,35 +112,51 @@ class RuntimeBreakdown:
         self.steps += 1
 
     def reset(self) -> None:
-        """Discard every recorded stage and the step count.
+        """Discard every recorded second and the step count.
 
-        Experiment runners call this after their warm-up steps so the
-        reported stage breakdown covers exactly the measured steps, in
-        lockstep with the kernel counters they reset at the same point.
+        Clears only the ``time.*`` prefix, so a shared telemetry metric
+        set keeps its non-timing counters.  Experiment runners call this
+        after their warm-up steps so the reported stage breakdown covers
+        exactly the measured steps, in lockstep with the kernel counters
+        they reset at the same point.
         """
-        self.seconds = defaultdict(float)
-        self.stage_seconds = defaultdict(float)
+        self.metrics.clear_prefix("time.")
         self.steps = 0
+
+    # ------------------------------------------------------------------
+    # read-only projections
+    # ------------------------------------------------------------------
+    @property
+    def seconds(self) -> Dict[str, float]:
+        """Coarse bucket seconds: ``{bucket: seconds}`` (detached copy)."""
+        return self.metrics.namespace(_BUCKET_PREFIX)
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-pipeline-stage seconds: ``{stage: seconds}`` (detached copy)."""
+        return self.metrics.namespace(_STAGE_PREFIX)
 
     @property
     def total(self) -> float:
-        """Total recorded seconds across all stages."""
+        """Total recorded seconds across all buckets."""
         return sum(self.seconds.values())
 
     def fractions(self) -> Dict[str, float]:
-        """Per-stage fraction of the total runtime."""
-        total = self.total
+        """Per-bucket fraction of the total runtime."""
+        seconds = self.seconds
+        total = sum(seconds.values())
         if total <= 0.0:
-            return {stage: 0.0 for stage in self.seconds}
-        return {stage: s / total for stage, s in self.seconds.items()}
+            return {stage: 0.0 for stage in seconds}
+        return {stage: s / total for stage, s in seconds.items()}
 
     def as_rows(self) -> List[Dict[str, float]]:
         """Table rows (stage, seconds, fraction) sorted by execution order."""
+        seconds = self.seconds
         fractions = self.fractions()
-        ordered = [s for s in STAGES if s in self.seconds]
-        ordered += [s for s in self.seconds if s not in STAGES]
+        ordered = [s for s in STAGES if s in seconds]
+        ordered += [s for s in seconds if s not in STAGES]
         return [
-            {"stage": stage, "seconds": self.seconds[stage],
+            {"stage": stage, "seconds": seconds[stage],
              "fraction": fractions.get(stage, 0.0)}
             for stage in ordered
         ]
@@ -116,11 +167,12 @@ class RuntimeBreakdown:
         Empty when the breakdown was filled through the legacy
         :meth:`record` path only (no pipeline timing hook attached).
         """
-        total = sum(self.stage_seconds.values())
+        stage_seconds = self.stage_seconds
+        total = sum(stage_seconds.values())
         return [
             {"stage": stage, "seconds": seconds,
              "fraction": (seconds / total if total > 0.0 else 0.0)}
-            for stage, seconds in self.stage_seconds.items()
+            for stage, seconds in stage_seconds.items()
         ]
 
 

@@ -35,6 +35,8 @@ from repro.backend import activate
 from repro.config import SimulationConfig
 from repro.exec import TileExecutor, create_executor
 from repro.hardware.counters import KernelCounters
+from repro.obs import HealthHook, TracingHook
+from repro.obs.registry import activate as activate_telemetry
 from repro.pic.boundary import FieldBoundaryConditions
 from repro.pic.deposition.reference import deposit_reference
 from repro.pic.diagnostics import (
@@ -97,6 +99,10 @@ class Simulation:
         #: array backend + kernel tier resolved from ``config.backend``
         #: (process-global: the stencil primitives dispatch through it)
         self.backend_selection = activate(config.backend)
+        #: telemetry registry resolved from ``config.observe``
+        #: (process-global, the same activation pattern; the shared null
+        #: singleton when observability is off)
+        self.telemetry = activate_telemetry(config.observe)
         self.grid = Grid(config.grid)
         self.dt = config.time_step
         self.step_index = 0
@@ -139,6 +145,10 @@ class Simulation:
         self.breakdown = RuntimeBreakdown(
             executor_name=self.executor.name,
             kernel_tier=self.backend_selection.kernel_tier,
+            # share the telemetry's metric registry so the breakdown is
+            # a view over the exported metrics (time.bucket.*/time.stage.*)
+            metrics=(self.telemetry.metrics if self.telemetry.enabled
+                     else None),
         )
         self.energy = EnergyDiagnostic()
         #: one-shot flag set by a :mod:`repro.ckpt` restore when the
@@ -153,6 +163,13 @@ class Simulation:
         #: executor-sharded (same set, executor in the context) or
         #: domain-decomposed
         self.pipeline: StepPipeline = build_pipeline(self)
+        if self.telemetry.enabled:
+            tracing = TracingHook(self.telemetry)
+            self.pipeline.add_pre_hook(tracing.on_pre)
+            self.pipeline.add_post_hook(tracing)
+            if config.observe.health:
+                self.pipeline.add_post_hook(
+                    HealthHook(config.observe, self.telemetry))
 
     # ------------------------------------------------------------------
     @property

@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config import SimulationConfig
     from repro.domain.runtime import DomainRuntime
     from repro.exec import TileExecutor
+    from repro.obs.registry import Telemetry
     from repro.pic.diagnostics import RuntimeBreakdown
     from repro.pic.grid import Grid
     from repro.pic.particles import ParticleContainer
@@ -97,6 +98,13 @@ class StageContext:
     @property
     def breakdown(self) -> "RuntimeBreakdown":
         return self.simulation.breakdown
+
+    @property
+    def telemetry(self) -> "Telemetry":
+        """The run's telemetry registry (:mod:`repro.obs`); the shared
+        null singleton when observability is off, so recording into it
+        is always safe."""
+        return self.simulation.telemetry
 
     @property
     def dt(self) -> float:

@@ -65,6 +65,9 @@ RESOURCES: FrozenSet[str] = frozenset({
     "time",
     "executor",
     "breakdown",
+    # the run's metric/event registry (repro.obs); an external
+    # accumulator like `breakdown` — recording never orders stages
+    "telemetry",
     # services and telemetry owned by the simulation object
     "simulation.pusher",
     "simulation.deposition",
@@ -123,6 +126,7 @@ EXTERNAL_RESOURCES: FrozenSet[str] = frozenset({
     "time",
     "executor",
     "breakdown",
+    "telemetry",
     "simulation.pusher",
     "simulation.deposition",
     "simulation.laser",

@@ -52,16 +52,19 @@ class MigrateStage:
     })
     writes = frozenset({
         "containers.position", "containers.membership", "domain.migration",
+        "telemetry",
     })
 
     def run(self, ctx: "StageContext") -> None:
         domain = ctx.domain
         recorder = domain.migration.recorder if domain is not None else None
+        telemetry = ctx.telemetry
         for container in ctx.containers:
             container.apply_boundary_conditions(ctx.grid,
                                                 executor=ctx.executor)
-            container.redistribute(ctx.grid, executor=ctx.executor,
-                                   move_recorder=recorder)
+            moved = container.redistribute(ctx.grid, executor=ctx.executor,
+                                           move_recorder=recorder)
+            telemetry.count("particles.migrated", moved)
 
 
 class DepositStage:

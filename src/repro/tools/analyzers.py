@@ -353,7 +353,7 @@ RULE_STAGE_EFFECTS = "stage-effects"
 #: StageContext attribute names == effect resource roots
 _CONTEXT_ROOTS = frozenset({
     "config", "grid", "executor", "containers", "domain", "breakdown",
-    "dt", "step_index", "time", "simulation",
+    "dt", "step_index", "time", "simulation", "telemetry",
 })
 
 

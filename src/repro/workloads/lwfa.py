@@ -30,6 +30,7 @@ from repro.config import (
     SortingPolicyConfig,
     SpeciesConfig,
 )
+from repro.obs import ObsConfig
 from repro.pic.grid import Grid
 from repro.pic.particles import ParticleContainer
 from repro.pic.plasma import load_plasma_slab
@@ -56,6 +57,9 @@ class LWFAWorkload:
     domains: Tuple[int, int, int] = (1, 1, 1)
     #: array backend and kernel tier (:mod:`repro.backend`)
     backend: BackendConfig = field(default_factory=BackendConfig)
+    #: tracing/metrics/health telemetry (:mod:`repro.obs`) — inert to
+    #: results, excluded from campaign cache keys
+    observe: ObsConfig = field(default_factory=ObsConfig)
     seed: int = 2026
 
     # ------------------------------------------------------------------
@@ -119,6 +123,7 @@ class LWFAWorkload:
             execution=self.execution,
             domain=DomainConfig(domains=self.domains),
             backend=self.backend,
+            observe=self.observe,
             seed=self.seed,
         )
 

@@ -26,6 +26,7 @@ from repro.config import (
     SortingPolicyConfig,
     SpeciesConfig,
 )
+from repro.obs import ObsConfig
 from repro.pic.simulation import DepositionStrategy, Simulation
 
 #: PPC triples of the paper's density scan and the average PPC they produce.
@@ -56,6 +57,9 @@ class UniformPlasmaWorkload:
     domains: Tuple[int, int, int] = (1, 1, 1)
     #: array backend and kernel tier (:mod:`repro.backend`)
     backend: BackendConfig = field(default_factory=BackendConfig)
+    #: tracing/metrics/health telemetry (:mod:`repro.obs`) — inert to
+    #: results, excluded from campaign cache keys
+    observe: ObsConfig = field(default_factory=ObsConfig)
     seed: int = 2026
 
     def ppc_triple(self) -> Tuple[int, int, int]:
@@ -103,6 +107,7 @@ class UniformPlasmaWorkload:
             execution=self.execution,
             domain=DomainConfig(domains=self.domains),
             backend=self.backend,
+            observe=self.observe,
             seed=self.seed,
         )
 

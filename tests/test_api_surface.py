@@ -61,6 +61,25 @@ API_SURFACE = {
         "snapshot_path",
         "write_snapshot",
     ),
+    "repro.obs": (
+        "HealthHook",
+        "MetricSet",
+        "ObsConfig",
+        "PhysicsHealthError",
+        "TRACE_SCHEMA",
+        "Telemetry",
+        "TracingHook",
+        "activate",
+        "chrome_trace_events",
+        "export_chrome_trace",
+        "export_jsonl",
+        "load_trace_events",
+        "log_event",
+        "summarize_trace",
+        "telemetry",
+        "use_telemetry",
+        "validate_chrome_trace",
+    ),
     "repro.pipeline": (
         "BreakdownTimingHook",
         "DOMAIN_STAGE_SET",
