@@ -16,6 +16,20 @@ Entries are written atomically *and durably* (temp file + ``fsync`` +
 a host crash can leave a truncated or renamed-but-empty entry behind,
 and unreadable or malformed entries are treated as misses, counted as
 invalidations and deleted — never raised to the caller.
+
+Concurrent writers are safe by the same construction: every ``put``
+stages into its own private temp file and publishes with an atomic
+``os.replace``, so two processes storing the same key race only on the
+rename — the last rename wins wholesale and a concurrent reader sees
+either complete payload, never a torn mix (pinned by the concurrent-put
+test in ``tests/test_campaign.py``).
+
+The cache is bounded on demand rather than on every write:
+:meth:`ResultCache.size_stats` reports the on-disk footprint and
+:meth:`ResultCache.evict` runs an LRU pass down to a byte budget
+(``get`` refreshes an entry's mtime, so recently replayed results
+survive).  The campaign CLI exposes this as ``--cache-max-bytes`` and
+the ``repro.serve`` tenant namespaces run it after every store.
 """
 
 from __future__ import annotations
@@ -87,6 +101,10 @@ class CacheStats:
     writes: int = 0
     #: store attempts that failed on the filesystem (cache dir unwritable)
     write_errors: int = 0
+    #: intact entries removed by the LRU :meth:`ResultCache.evict` pass
+    evictions: int = 0
+    #: bytes reclaimed by those evictions
+    evicted_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -107,6 +125,8 @@ class CacheStats:
             "invalidations": self.invalidations,
             "writes": self.writes,
             "write_errors": self.write_errors,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "hit_ratio": self.hit_ratio,
         }
 
@@ -153,6 +173,12 @@ class ResultCache:
                 pass
             return None
         self.stats.hits += 1
+        try:
+            # refresh the LRU clock: a replayed entry is recently used,
+            # so an evict() pass reclaims cold entries first
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def put(self, key: str, spec: object, result: dict) -> Optional[str]:
@@ -253,6 +279,73 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def size_stats(self) -> Dict[str, int]:
+        """On-disk footprint: ``{"entries": N, "total_bytes": B}``.
+
+        Counts only files belonging to the cache layout (see
+        :meth:`_iter_layout_files`); orphaned ``*.tmp`` staging files are
+        included in ``total_bytes`` (they occupy real disk) but not in
+        ``entries``.  Files that vanish mid-scan (a concurrent eviction
+        or ``clear``) are skipped, never raised.
+        """
+        entries = 0
+        total = 0
+        for path in self._iter_layout_files():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            total += size
+            if path.endswith(".json"):
+                entries += 1
+        return {"entries": entries, "total_bytes": total}
+
+    def evict(self, max_bytes: int) -> int:
+        """LRU pass: delete oldest entries until ≤ ``max_bytes`` remain.
+
+        Recency is the entry file's mtime — ``put`` sets it and ``get``
+        refreshes it, so the pass reclaims the least recently *used*
+        results first (ties broken by path for determinism).  Orphaned
+        ``*.tmp`` files from a hard-killed writer are always swept.  The
+        pass is atomic per entry (each removal is one ``os.remove``) and
+        corrupt-tolerant: files that cannot be stat'ed or removed (a
+        concurrent eviction, permissions) are skipped without aborting
+        the sweep.  Returns the number of entries evicted; the count and
+        reclaimed bytes land in ``stats.evictions`` /
+        ``stats.evicted_bytes``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        ranked = []
+        total = 0
+        for path in self._iter_layout_files():
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            if path.endswith(".tmp"):
+                # dead weight from a killed put: sweep, don't rank
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                continue
+            ranked.append((status.st_mtime, path, status.st_size))
+            total += status.st_size
+        removed = 0
+        for _mtime, path, size in sorted(ranked):
+            if total <= max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
         return removed
 
     def __len__(self) -> int:

@@ -372,6 +372,17 @@ def _execute_spec_payload(spec_payload: Mapping) -> Dict[str, object]:
     return result.to_json()
 
 
+#: public name of the worker entry point.  The campaign pool and the
+#: ``repro.serve`` worker pool both ship this function to their worker
+#: processes; serve resolves ``_execute_spec_payload`` through the module
+#: attribute at call time, so fault-injection harnesses can substitute it
+#: (:func:`repro.ckpt.faults.killing_spec_executor`) the same way the
+#: campaign fault tests do.
+def execute_spec_payload(spec_payload: Mapping) -> Dict[str, object]:
+    """Run one spec dict and return its result as cache-layout JSON data."""
+    return _execute_spec_payload(spec_payload)
+
+
 # ----------------------------------------------------------------------
 # Campaign
 # ----------------------------------------------------------------------
@@ -681,6 +692,8 @@ class Campaign:
             invalidations=now.invalidations - before.invalidations,
             writes=now.writes - before.writes,
             write_errors=now.write_errors - before.write_errors,
+            evictions=now.evictions - before.evictions,
+            evicted_bytes=now.evicted_bytes - before.evicted_bytes,
         )
 
     # ------------------------------------------------------------------

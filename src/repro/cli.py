@@ -174,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
                                f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
     campaign.add_argument("--no-cache", action="store_true",
                           help="disable the result cache entirely")
+    campaign.add_argument("--cache-max-bytes", type=_nonnegative_int,
+                          default=None, metavar="BYTES",
+                          help="after the run, LRU-evict cache entries "
+                               "until the cache directory holds at most "
+                               "BYTES (least recently used first; replayed "
+                               "entries count as recently used)")
     campaign.add_argument("--clear-cache", action="store_true",
                           help="delete every cached entry (including ones "
                                "stranded by source edits or version bumps) "
@@ -279,6 +285,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output format (default: table)")
     run.set_defaults(func=cmd_run)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the asyncio campaign job service (HTTP/JSON + SSE)",
+        description="Serve campaign grids over HTTP (repro.serve): "
+                    "durable job queue, per-cell dedup against the "
+                    "result cache and in-flight work, SSE progress "
+                    "streams and per-tenant cache namespaces.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=_nonnegative_int, default=8765,
+                       help="bind port; 0 picks a free port "
+                            "(default: 8765)")
+    serve.add_argument("--root", default=None, metavar="DIR",
+                       help="service state directory holding the job "
+                            "journal and the per-tenant caches "
+                            "(default: .repro-serve)")
+    serve.add_argument("--jobs", type=_positive_int, default=1,
+                       help="concurrent worker processes for cell "
+                            "computation (default: 1)")
+    serve.add_argument("--tenant-max-bytes", type=_nonnegative_int,
+                       default=None, metavar="BYTES",
+                       help="per-tenant cache byte budget, enforced by "
+                            "LRU eviction after every store (default: "
+                            "unbounded)")
+    serve.add_argument("--memo-entries", type=_nonnegative_int,
+                       default=256, metavar="N",
+                       help="bound of the in-memory cross-tenant result "
+                            "memo (default: 256)")
+    serve.add_argument("--journal-every", type=_positive_int, default=1,
+                       metavar="N",
+                       help="rewrite the job journal every N records; "
+                            "submissions always flush before the 202 "
+                            "(default: 1)")
+    serve.add_argument("--trace", action="store_true",
+                       help="record repro.obs spans/events and forward "
+                            "them on the SSE streams as 'trace' frames")
+    serve.set_defaults(func=cmd_serve)
+
     lint = subparsers.add_parser(
         "lint",
         help="run the repository's static invariant checkers",
@@ -353,41 +398,28 @@ def _observe_config(args, *, trace: bool = False):
 
 def _make_workload(family: str, *, ppc: int, args, execution=None,
                    observe=None):
-    """One workload builder with the CLI defaults (shared by both
-    subcommands, so the per-family defaults exist in exactly one place)."""
-    from repro.backend import BackendConfig
-    from repro.workloads.lwfa import LWFAWorkload
-    from repro.workloads.uniform import UniformPlasmaWorkload
+    """One workload builder with the CLI defaults.
 
-    kwargs = dict(
+    Thin adapter over :func:`repro.workloads.workload_for_family` — the
+    single defaulting point shared with the ``repro.serve`` job service,
+    so HTTP submissions and CLI invocations of the same grid hash to the
+    same campaign cache keys.
+    """
+    from repro.workloads import workload_for_family
+
+    return workload_for_family(
+        family,
         ppc=ppc,
         max_steps=args.steps,
-        domains=args.domains or (1, 1, 1),
-        backend=BackendConfig(kernel_tier=getattr(args, "kernel_tier",
-                                                  "auto")),
         seed=args.seed,
+        domains=args.domains,
+        kernel_tier=getattr(args, "kernel_tier", "auto"),
+        n_cell=args.n_cell,
+        tile_size=args.tile_size,
+        shape_order=(args.shape_order if family == "uniform" else None),
+        execution=execution,
+        observe=observe,
     )
-    if observe is not None:
-        kwargs["observe"] = observe
-    if execution is not None:
-        kwargs["execution"] = execution
-    if family == "uniform":
-        workload = UniformPlasmaWorkload(
-            n_cell=args.n_cell or (8, 8, 8),
-            tile_size=args.tile_size or (8, 8, 8),
-            shape_order=args.shape_order or 1,
-            **kwargs,
-        )
-    else:
-        workload = LWFAWorkload(
-            n_cell=args.n_cell or (8, 8, 32),
-            tile_size=args.tile_size or (8, 8, 16),
-            **kwargs,
-        )
-    # fail fast on a PPC outside the paper's scan (workload builders
-    # only check it lazily when the simulation is built)
-    workload.ppc_triple()
-    return workload
 
 
 def _build_workloads(args) -> list:
@@ -502,6 +534,14 @@ def cmd_campaign(args, stdout=None) -> int:
                   f"({len(handle.events)} events)", file=sys.stderr)
     else:
         outcome = campaign.run()
+
+    if cache is not None and args.cache_max_bytes is not None:
+        evicted = cache.evict(args.cache_max_bytes)
+        if evicted:
+            print(f"evicted {evicted} cache entr"
+                  f"{'y' if evicted == 1 else 'ies'} "
+                  f"(cache bounded to {args.cache_max_bytes} bytes)",
+                  file=sys.stderr)
 
     if args.format == "json":
         print(json.dumps(outcome.to_json(), indent=2, sort_keys=True),
@@ -633,6 +673,23 @@ def cmd_run(args, stdout=None) -> int:
         for name, value in payload["metrics"].items():
             print(f"  {name:32s} {value:g}", file=stdout)
     return 0
+
+
+def cmd_serve(args, stdout=None) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    from repro.serve import DEFAULT_ROOT, ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        root=args.root if args.root is not None else DEFAULT_ROOT,
+        jobs=args.jobs,
+        tenant_max_bytes=args.tenant_max_bytes,
+        memo_entries=args.memo_entries,
+        journal_every=args.journal_every,
+        trace=args.trace,
+    )
+    return run_server(config)
 
 
 def cmd_lint(args, stdout=None) -> int:

@@ -35,6 +35,13 @@ Counter-name vocabulary (dotted, lowercase):
 ``backend.tier_resolves``         kernel-tier dispatch resolutions
 ``campaign.cells`` / ``.cache.hits`` / ``.cache.misses`` / ``.resumed``
                                   campaign accounting
+``serve.jobs.accepted`` / ``.completed`` / ``.failed``
+                                  campaign-service job lifecycle
+``serve.cells.computed`` / ``.cache_hits`` / ``.inflight_hits`` /
+``.memo_hits`` / ``.journal_adopted``
+                                  per-cell dedup provenance (repro.serve)
+``serve.tenant.evictions`` / ``.evicted_bytes``
+                                  tenant cache-budget LRU reclamation
 ``ckpt.saves`` / ``.restores`` / ``.bytes``
                                   checkpoint traffic
 ``faults.injected``               injected faults observed
@@ -46,9 +53,10 @@ Counter-name vocabulary (dotted, lowercase):
 ================================  ====================================
 
 ``time.*`` is wall-clock and ``exec.* / log.* / backend.* /
-campaign.*`` depend on the execution environment (pool availability,
-warm caches), so :meth:`Telemetry.snapshot` excludes them from its
-deterministic projection; everything else must reproduce bitwise.
+campaign.* / serve.*`` depend on the execution environment (pool
+availability, warm caches, dedup traffic), so
+:meth:`Telemetry.snapshot` excludes them from its deterministic
+projection; everything else must reproduce bitwise.
 """
 
 from __future__ import annotations
@@ -69,9 +77,10 @@ __all__ = [
 
 #: counter-name prefixes excluded from the deterministic snapshot:
 #: wall-clock seconds and environment-dependent accounting (pool
-#: availability, cache warmth, once-per-process log notices)
+#: availability, cache warmth, dedup traffic, once-per-process log
+#: notices)
 _NONDETERMINISTIC_PREFIXES = ("time.", "exec.", "log.", "backend.",
-                              "campaign.")
+                              "campaign.", "serve.")
 
 
 class MetricSet:

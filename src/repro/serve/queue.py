@@ -1,0 +1,491 @@
+"""Job model, grid expansion, durable queue journal, worker pool.
+
+A submission is a declarative campaign grid (the same workload x PPC x
+configuration space as ``python -m repro campaign``);
+:func:`expand_request` turns it into :class:`~repro.analysis.campaign
+.ExperimentSpec` cells using the *identical* defaults and nesting order
+as the CLI — same expansion, same ``cache_key()``, so HTTP submissions
+and CLI sweeps share campaign cache entries.
+
+Accepted jobs are durable before the ``202`` goes out: the
+:class:`JobJournal` persists every job (request, expanded cells,
+completed results) through the checksummed :mod:`repro.ckpt.format`
+container — the same torn-write-tolerant file the campaign progress
+checkpoint uses — so a server killed mid-queue restarts, re-adopts the
+journal, requeues unfinished jobs and recomputes only the cells that
+never completed (no accepted cell is lost, none runs twice).
+
+Cache misses execute on a :class:`WorkerPool`: a fork-preferring process
+pool (:func:`repro.exec.process.make_process_pool`) bounded by an asyncio
+semaphore.  A worker death (``BrokenProcessPool``) retries the cell once
+off-pool and forgives one incident — the pool is rebuilt for the next
+cell (``exec.pool_rebuilds``) — while a second incident, or a sandbox
+that refuses subprocesses outright, degrades the pool permanently to a
+single in-process worker thread.  Degraded cells are *serialized* on
+purpose: :func:`repro.analysis.campaign.run_spec` activates process
+-global backend/telemetry state per cell, so only one may run at a time
+in the server process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import logging
+import os
+# imported explicitly: the `concurrent.futures.process` attribute is only
+# bound once the submodule is imported, so referencing it lazily inside an
+# except clause can itself raise AttributeError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.analysis.campaign import ExperimentSpec, spec_for_workload
+from repro.ckpt.format import SnapshotError, read_snapshot, write_snapshot
+from repro.exec.process import make_process_pool
+from repro.obs.log import log_event
+from repro.obs.registry import Telemetry
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "Job",
+    "JobCell",
+    "JobJournal",
+    "QUEUE_FILENAME",
+    "WorkerPool",
+    "expand_request",
+]
+
+#: queue journal filename inside the service root directory
+QUEUE_FILENAME = "serve-queue.ckpt"
+
+_QUEUE_KIND = "serve-queue"
+_QUEUE_VERSION = 1
+
+#: job lifecycle states
+JOB_STATES = ("queued", "running", "completed", "failed")
+
+
+# ----------------------------------------------------------------------
+# Grid expansion (HTTP request -> ExperimentSpec cells)
+# ----------------------------------------------------------------------
+
+#: every key a submission may carry; anything else is a 400 (typos in a
+#: grid silently expanding to the default would poison cache parity)
+REQUEST_KEYS = frozenset({
+    "tenant", "workload", "ppc", "configurations", "steps",
+    "warmup_steps", "seed", "scramble", "shape_order", "n_cell",
+    "tile_size", "domains", "kernel_tier",
+})
+
+
+def _int_value(request: Mapping, key: str, default: int,
+               minimum: int = 0) -> int:
+    value = request.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{key} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{key} must be >= {minimum}, got {value}")
+    return value
+
+
+def _int_sequence(request: Mapping, key: str,
+                  default: List[int]) -> List[int]:
+    value = request.get(key, default)
+    if isinstance(value, int) and not isinstance(value, bool):
+        value = [value]
+    if (not isinstance(value, (list, tuple)) or not value
+            or any(isinstance(v, bool) or not isinstance(v, int) or v <= 0
+                   for v in value)):
+        raise ValueError(
+            f"{key} must be a positive integer or a non-empty list of "
+            f"positive integers, got {value!r}")
+    return list(value)
+
+
+def expand_request(request: Mapping) -> List[ExperimentSpec]:
+    """Expand a submission grid into specs, mirroring the campaign CLI.
+
+    Defaults, validation and nesting order (workloads outer,
+    configurations inner) all match ``python -m repro campaign``, so the
+    cells hash to the same cache keys.  Raises :class:`ValueError` for
+    anything malformed — unknown keys, unknown configuration names, a
+    PPC outside the paper's scan, ``shape_order`` on the lwfa workload.
+    """
+    from repro.baselines.configs import available_configurations
+    from repro.workloads import workload_for_family
+
+    if not isinstance(request, Mapping):
+        raise ValueError(
+            f"submission must be a JSON object, got {type(request).__name__}")
+    unknown = sorted(set(request) - REQUEST_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown submission key(s) {unknown}; "
+            f"valid keys: {sorted(REQUEST_KEYS)}")
+
+    workload_family = request.get("workload", "uniform")
+    if workload_family not in ("uniform", "lwfa"):
+        raise ValueError(
+            f"workload must be 'uniform' or 'lwfa', "
+            f"got {workload_family!r}")
+
+    configurations = request.get(
+        "configurations", ["Baseline", "MatrixPIC (FullOpt)"])
+    if (not isinstance(configurations, (list, tuple)) or not configurations
+            or any(not isinstance(name, str) for name in configurations)):
+        raise ValueError(
+            "configurations must be a non-empty list of configuration "
+            f"names, got {configurations!r}")
+    bad = [name for name in configurations
+           if name not in available_configurations()]
+    if bad:
+        raise ValueError(
+            f"unknown configuration(s) {bad}; "
+            f"valid names: {list(available_configurations())}")
+
+    ppc_scan = _int_sequence(request, "ppc", [8, 64])
+    steps = _int_value(request, "steps", 2)
+    warmup_steps = _int_value(request, "warmup_steps", 1)
+    seed = _int_value(request, "seed", 2026)
+    scramble = request.get("scramble", True)
+    if not isinstance(scramble, bool):
+        raise ValueError(f"scramble must be a boolean, got {scramble!r}")
+    kernel_tier = request.get("kernel_tier", "auto")
+    if kernel_tier not in ("auto", "oracle", "fused"):
+        raise ValueError(
+            f"kernel_tier must be 'auto', 'oracle' or 'fused', "
+            f"got {kernel_tier!r}")
+    shape_order = request.get("shape_order")
+    if shape_order is not None and shape_order not in (1, 2, 3):
+        raise ValueError(
+            f"shape_order must be 1, 2 or 3, got {shape_order!r}")
+
+    workloads = [
+        workload_for_family(
+            workload_family, ppc=ppc, max_steps=steps, seed=seed,
+            domains=request.get("domains"),
+            kernel_tier=kernel_tier,
+            n_cell=request.get("n_cell"),
+            tile_size=request.get("tile_size"),
+            shape_order=shape_order)
+        for ppc in ppc_scan
+    ]
+    return [
+        spec_for_workload(workload, configuration, steps=steps,
+                          warmup_steps=warmup_steps, scramble=scramble)
+        for workload in workloads
+        for configuration in configurations
+    ]
+
+
+# ----------------------------------------------------------------------
+# Job model
+# ----------------------------------------------------------------------
+
+@dataclass
+class JobCell:
+    """One expanded grid cell of a job, plus its resolution state."""
+
+    index: int
+    spec_payload: Dict[str, Any]
+    key: str
+    #: provenance once resolved: cache | inflight | memo | computed | journal
+    source: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class Job:
+    """One accepted submission: its grid, cells and lifecycle state."""
+
+    job_id: str
+    tenant: str
+    request: Dict[str, Any]
+    cells: List[JobCell]
+    status: str = "queued"
+    error: Optional[str] = None
+
+    @property
+    def completed_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.done)
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact status payload ``GET /v1/jobs/<id>`` returns."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "cells": len(self.cells),
+            "completed": self.completed_cells,
+            "error": self.error,
+        }
+
+    # ------------------------------------------------------------------
+    def to_journal(self) -> Dict[str, Any]:
+        """JSON-able journal record (full request + per-cell results)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "request": self.request,
+            "status": self.status,
+            "error": self.error,
+            "cells": [
+                {
+                    "index": cell.index,
+                    "spec": cell.spec_payload,
+                    "key": cell.key,
+                    "source": cell.source,
+                    "result": cell.result,
+                }
+                for cell in self.cells
+            ],
+        }
+
+    @classmethod
+    def from_journal(cls, payload: Mapping) -> "Job":
+        cells = [
+            JobCell(
+                index=int(entry["index"]),
+                spec_payload=dict(entry["spec"]),
+                key=str(entry["key"]),
+                source=entry.get("source"),
+                result=entry.get("result"),
+            )
+            for entry in payload["cells"]
+        ]
+        status = str(payload.get("status", "queued"))
+        if status not in JOB_STATES:
+            status = "queued"
+        return cls(
+            job_id=str(payload["job_id"]),
+            tenant=str(payload["tenant"]),
+            request=dict(payload.get("request", {})),
+            cells=cells,
+            status=status,
+            error=payload.get("error"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Durable queue journal
+# ----------------------------------------------------------------------
+
+class JobJournal:
+    """Crash-durable record of every accepted job and its progress.
+
+    One checksummed :mod:`repro.ckpt.format` container holds the job-id
+    sequence counter plus each job's full record; ``record`` buffers an
+    upsert and rewrites the file every ``every`` records (``flush``
+    forces it).  The submission path flushes *before* acknowledging, so
+    an accepted job is on disk by the time the client sees its 202.
+    A corrupt or torn journal downgrades to "empty queue" with a logged
+    warning — exactly the campaign-progress recovery contract.
+    """
+
+    def __init__(self, directory: str, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.directory = str(directory)
+        self.every = int(every)
+        self.path = os.path.join(self.directory, QUEUE_FILENAME)
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        self._next_seq = 1
+        self._pending = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Adopt the on-disk journal; returns ``{job_id: record}``."""
+        try:
+            meta, _arrays = read_snapshot(self.path)
+        except FileNotFoundError:
+            return {}
+        except (SnapshotError, OSError) as exc:
+            log_event(
+                "serve.journal_unusable",
+                "ignoring unusable job journal %s: %s", self.path, exc,
+                logger=logger)
+            return {}
+        jobs = meta.get("jobs")
+        if (meta.get("kind") != _QUEUE_KIND
+                or meta.get("version") != _QUEUE_VERSION
+                or not isinstance(jobs, dict)):
+            log_event(
+                "serve.journal_not_a_record",
+                "ignoring %s: not a serve queue journal", self.path,
+                logger=logger)
+            return {}
+        self._jobs = dict(jobs)
+        self._next_seq = max(int(meta.get("next_seq", 1)), 1)
+        return dict(self._jobs)
+
+    def new_job_id(self) -> str:
+        """The next job id; the counter itself is journaled, so ids are
+        never reused across restarts."""
+        job_id = f"job-{self._next_seq:06d}"
+        self._next_seq += 1
+        self._dirty = True
+        return job_id
+
+    def record(self, job_payload: Mapping) -> None:
+        """Buffer one job upsert; rewrites the file on the interval."""
+        self._jobs[str(job_payload["job_id"])] = dict(job_payload)
+        self._dirty = True
+        self._pending += 1
+        if self._pending >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the journal if anything is buffered.
+
+        Best-effort like the campaign progress file: an unwritable
+        directory degrades durability to a logged warning, it never
+        fails the job itself.
+        """
+        if not self._dirty:
+            return
+        meta = {"kind": _QUEUE_KIND, "version": _QUEUE_VERSION,
+                "next_seq": self._next_seq, "jobs": self._jobs}
+        try:
+            write_snapshot(self.path, meta, {})
+        except OSError as exc:
+            log_event(
+                "serve.journal_write_failed",
+                "could not write job journal %s: %s", self.path, exc,
+                logger=logger)
+            return
+        self._dirty = False
+        self._pending = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobJournal(path={self.path!r}, jobs={len(self._jobs)})"
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+def _default_task_fn() -> Callable[[Mapping], Dict[str, Any]]:
+    """Resolve the campaign worker entry point *at call time* through
+    the module attribute, so fault harnesses that monkeypatch
+    ``repro.analysis.campaign._execute_spec_payload``
+    (:func:`repro.ckpt.faults.killing_spec_executor`) reach the service
+    exactly like they reach ``Campaign.run``."""
+    from repro.analysis import campaign
+
+    return campaign._execute_spec_payload
+
+
+class WorkerPool:
+    """Bounded spec executor with rebuild-once worker-death tolerance.
+
+    ``jobs`` caps concurrent cells (an asyncio semaphore).  Pool
+    acquisition is lazy; where :func:`make_process_pool` returns None
+    (sandboxes that forbid subprocesses) the pool starts degraded.  A
+    cell whose worker dies is retried exactly once off-pool; the first
+    incident rebuilds the pool for later cells (``exec.pool_rebuilds``),
+    a second degrades permanently.  Degraded cells run serialized on one
+    worker thread — ``run_spec`` activates process-global state, so the
+    server process may host only one in-process cell at a time.
+    """
+
+    #: worker-death incidents tolerated before degrading for good
+    MAX_POOL_REBUILDS = 1
+
+    def __init__(self, jobs: int = 1,
+                 task_fn: Optional[Callable] = None,
+                 pool_factory: Callable = make_process_pool,
+                 obs: Optional[Telemetry] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.task_fn = task_fn
+        self.pool_factory = pool_factory
+        self.obs = obs
+        self.degraded = False
+        self.pool_failures = 0
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._serial: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._semaphore = asyncio.Semaphore(self.jobs)
+
+    # ------------------------------------------------------------------
+    def _resolve_task_fn(self) -> Callable[[Mapping], Dict[str, Any]]:
+        return self.task_fn if self.task_fn is not None else _default_task_fn()
+
+    def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        if self.degraded:
+            return None
+        if self._pool is None:
+            self._pool = self.pool_factory(self.jobs)
+            if self._pool is None:
+                self._degrade("process pools are unavailable")
+        return self._pool
+
+    def _serial_executor(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._serial is None:
+            self._serial = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serve-cell")
+        return self._serial
+
+    def _degrade(self, reason: str) -> None:
+        self.degraded = True
+        log_event(
+            "serve.pool_degraded",
+            "serve worker pool degraded to a single in-process worker "
+            "thread (%s)", reason, logger=logger)
+
+    def _retire_broken_pool(self, cause: BaseException) -> None:
+        self.pool_failures += 1
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+        if self.pool_failures > self.MAX_POOL_REBUILDS:
+            self._degrade(f"worker died again: {cause}")
+        else:
+            if self.obs is not None:
+                self.obs.count("exec.pool_rebuilds")
+            log_event(
+                "serve.pool_rebuild",
+                "serve worker died mid-cell (%s); the cell is retried "
+                "off-pool once and the pool rebuilds for the next cell",
+                cause, logger=logger)
+
+    # ------------------------------------------------------------------
+    async def run(self, spec_payload: Mapping) -> Dict[str, Any]:
+        """Execute one spec payload, returning its cache-layout result."""
+        async with self._semaphore:
+            loop = asyncio.get_running_loop()
+            fn = self._resolve_task_fn()
+            pool = self._ensure_pool()
+            if pool is not None:
+                try:
+                    return await loop.run_in_executor(
+                        pool, fn, dict(spec_payload))
+                except BrokenProcessPool as exc:
+                    # worker died (SIGKILL, OOM): retry this cell once
+                    # off-pool; genuine task exceptions propagate
+                    self._retire_broken_pool(exc)
+                except OSError as exc:
+                    # workers fork lazily inside submit(): a sandbox
+                    # blocking fork surfaces here, and that environment
+                    # never yields a working pool
+                    self._degrade(f"pool submit failed: {exc}")
+            return await loop.run_in_executor(
+                self._serial_executor(), fn, dict(spec_payload))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._serial is not None:
+            self._serial.shutdown(wait=True)
+            self._serial = None

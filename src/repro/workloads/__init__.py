@@ -10,6 +10,8 @@
   assignment for molecular dynamics.
 """
 
+from typing import Optional, Sequence, Tuple
+
 from repro.workloads.lwfa import LWFAWorkload
 from repro.workloads.nbody_pm import ParticleMeshGravity
 from repro.workloads.pme import PMEChargeAssignment
@@ -20,4 +22,76 @@ __all__ = [
     "LWFAWorkload",
     "ParticleMeshGravity",
     "PMEChargeAssignment",
+    "workload_for_family",
 ]
+
+#: per-family grid defaults shared by the CLI and the campaign service,
+#: so "the same grid" means the same thing over HTTP and on the command
+#: line (and therefore hashes to the same cache keys)
+_FAMILY_DEFAULTS = {
+    "uniform": {"n_cell": (8, 8, 8), "tile_size": (8, 8, 8)},
+    "lwfa": {"n_cell": (8, 8, 32), "tile_size": (8, 8, 16)},
+}
+
+
+def workload_for_family(family: str, *, ppc: int, max_steps: int,
+                        seed: int = 2026,
+                        domains: Optional[Sequence[int]] = None,
+                        kernel_tier: str = "auto",
+                        n_cell: Optional[Sequence[int]] = None,
+                        tile_size: Optional[Sequence[int]] = None,
+                        shape_order: Optional[int] = None,
+                        execution=None, observe=None):
+    """One workload builder with the canonical per-family defaults.
+
+    The single defaulting point behind both ``python -m repro
+    run|campaign`` and the ``repro.serve`` job service: a grid submitted
+    over HTTP expands to exactly the workloads the CLI would build, so
+    the two share campaign cache entries.  Raises :class:`ValueError`
+    for an unknown family, a ``shape_order`` on the (order-1-fixed) lwfa
+    workload, or a PPC outside the paper's scan.
+    """
+    if family not in _FAMILY_DEFAULTS:
+        raise ValueError(
+            f"unknown workload family {family!r}; expected one of "
+            f"{sorted(_FAMILY_DEFAULTS)}")
+    from repro.backend import BackendConfig
+
+    defaults = _FAMILY_DEFAULTS[family]
+    kwargs = dict(
+        ppc=int(ppc),
+        max_steps=int(max_steps),
+        n_cell=_triple(n_cell, defaults["n_cell"], "n_cell"),
+        tile_size=_triple(tile_size, defaults["tile_size"], "tile_size"),
+        domains=_triple(domains, (1, 1, 1), "domains"),
+        backend=BackendConfig(kernel_tier=str(kernel_tier)),
+        seed=int(seed),
+    )
+    if observe is not None:
+        kwargs["observe"] = observe
+    if execution is not None:
+        kwargs["execution"] = execution
+    if family == "uniform":
+        workload = UniformPlasmaWorkload(
+            shape_order=int(shape_order) if shape_order is not None else 1,
+            **kwargs)
+    else:
+        if shape_order is not None:
+            raise ValueError("shape_order applies only to the uniform "
+                             "workload (lwfa is fixed at order 1)")
+        workload = LWFAWorkload(**kwargs)
+    # fail fast on a PPC outside the paper's scan (builders only check
+    # lazily when the simulation is built)
+    workload.ppc_triple()
+    return workload
+
+
+def _triple(value: Optional[Sequence[int]], default: Tuple[int, int, int],
+            name: str) -> Tuple[int, int, int]:
+    if value is None:
+        return default
+    items = tuple(int(v) for v in value)
+    if len(items) != 3 or any(v <= 0 for v in items):
+        raise ValueError(
+            f"{name} must be 3 positive integers, got {value!r}")
+    return items

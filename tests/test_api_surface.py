@@ -114,6 +114,29 @@ API_SURFACE = {
         "global_stages",
         "stage_set_for",
     ),
+    "repro.serve": (
+        "CampaignServer",
+        "CellResolver",
+        "DEFAULT_ROOT",
+        "DEFAULT_TENANT",
+        "EventBroker",
+        "InFlightTable",
+        "Job",
+        "JobCell",
+        "JobJournal",
+        "JobService",
+        "QUEUE_FILENAME",
+        "ResultMemo",
+        "ServeConfig",
+        "TenantManager",
+        "TenantNameError",
+        "TenantNamespace",
+        "WorkerPool",
+        "expand_request",
+        "format_sse",
+        "run_server",
+        "validate_tenant_name",
+    ),
     "repro.tools": (
         "ANALYZERS",
         "Finding",

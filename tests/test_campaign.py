@@ -511,6 +511,22 @@ class TestCLI:
         out = json.loads(capsys.readouterr().out)
         assert out["cache"]["misses"] == 1 and out["cache"]["hits"] == 0
 
+    def test_campaign_cli_cache_max_bytes(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = self.ARGS + ["--cache-dir", cache_dir, "--format", "json",
+                            "--cache-max-bytes", "1"]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["cache"]["misses"] == 4
+        assert "cache bounded to 1 bytes" in captured.err
+        # a 1-byte budget evicts everything the run just stored
+        assert ResultCache(cache_dir).size_stats()["entries"] == 0
+
+    def test_campaign_cli_rejects_negative_cache_max_bytes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--cache-max-bytes", "-1", "--no-cache"])
+        assert excinfo.value.code == 2
+
     def test_campaign_cli_rejects_empty_grid(self, capsys):
         assert main(["campaign", "--ppc", ",", "--no-cache"]) == 2
         assert main(["campaign", "--configurations", ",", "--no-cache"]) == 2
@@ -524,3 +540,133 @@ class TestCLI:
         assert main(["campaign", "--list-configurations"]) == 0
         out = capsys.readouterr().out
         assert "MatrixPIC (FullOpt)" in out
+
+
+# ----------------------------------------------------------------------
+# Cache size accounting and LRU eviction
+# ----------------------------------------------------------------------
+
+def _key(i):
+    """A distinct well-formed 64-hex cache key per index."""
+    return f"{i:064x}"
+
+
+class TestCacheSizeAndEviction:
+    def filled_cache(self, tmp_path, entries=3):
+        cache = ResultCache(str(tmp_path / "cache"))
+        paths = []
+        for i in range(entries):
+            paths.append(cache.put(_key(i), {"i": i},
+                                   {"i": i, "fill": "x" * 128}))
+        return cache, paths
+
+    def test_size_stats_counts_entries_and_bytes(self, tmp_path):
+        cache, paths = self.filled_cache(tmp_path)
+        stats = cache.size_stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] == sum(os.path.getsize(p) for p in paths)
+        assert ResultCache(str(tmp_path / "empty")).size_stats() \
+            == {"entries": 0, "total_bytes": 0}
+
+    def test_evict_removes_least_recently_used_first(self, tmp_path):
+        cache, paths = self.filled_cache(tmp_path)
+        now = os.path.getmtime(paths[2])
+        os.utime(paths[0], (now - 100, now - 100))  # coldest
+        os.utime(paths[1], (now - 50, now - 50))
+        total = sum(os.path.getsize(p) for p in paths)
+        newest_size = os.path.getsize(paths[2])
+        evicted = cache.evict(newest_size)
+        assert evicted == 2
+        assert cache.get(_key(2)) is not None  # the hot entry survives
+        assert cache.size_stats()["entries"] == 1
+        assert cache.stats.evictions == 2
+        assert cache.stats.evicted_bytes == total - newest_size
+        assert "evictions" in cache.stats.as_dict()
+        assert "evicted_bytes" in cache.stats.as_dict()
+
+    def test_get_refreshes_the_lru_clock(self, tmp_path):
+        cache, paths = self.filled_cache(tmp_path, entries=2)
+        now = os.path.getmtime(paths[1])
+        os.utime(paths[0], (now - 100, now - 100))
+        assert cache.get(_key(0)) is not None  # touch: entry 0 is hot now
+        os.utime(paths[1], (now - 50, now - 50))
+        cache.evict(os.path.getsize(paths[0]))
+        assert cache.get(_key(0)) is not None
+        assert cache.get(_key(1)) is None
+
+    def test_evict_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache, paths = self.filled_cache(tmp_path, entries=1)
+        orphan = os.path.join(os.path.dirname(paths[0]), "stale123.tmp")
+        with open(orphan, "w", encoding="utf-8") as fh:
+            fh.write("half-written by a killed put")
+        assert cache.evict(10**9) == 0  # under budget: entries survive
+        assert not os.path.exists(orphan)  # ...but dead weight is swept
+        assert cache.size_stats()["entries"] == 1
+
+    def test_evict_rejects_negative_budget(self, tmp_path):
+        cache, _paths = self.filled_cache(tmp_path, entries=1)
+        with pytest.raises(ValueError):
+            cache.evict(-1)
+
+    def test_evict_to_zero_empties_the_cache(self, tmp_path):
+        cache, _paths = self.filled_cache(tmp_path)
+        assert cache.evict(0) == 3
+        assert cache.size_stats() == {"entries": 0, "total_bytes": 0}
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers: last-writer-wins, no torn reads
+# ----------------------------------------------------------------------
+
+def _hammer_put(cache_dir, key, writer_id, rounds):
+    """Worker: repeatedly store complete payloads under one key."""
+    cache = ResultCache(cache_dir)
+    for n in range(rounds):
+        cache.put(key, {"writer": writer_id},
+                  {"writer": writer_id, "n": n, "fill": "x" * 256})
+
+
+class TestConcurrentPut:
+    def test_same_key_race_is_atomic_and_last_writer_wins(self, tmp_path):
+        """Two processes hammering ``put`` on one key race only on the
+        final rename: a concurrent reader sees either writer's complete
+        payload, never a torn mix, and the last write wins wholesale."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        cache_dir = str(tmp_path / "cache")
+        key = _key(7)
+        writers = [ctx.Process(target=_hammer_put,
+                               args=(cache_dir, key, i, 40))
+                   for i in range(2)]
+        for proc in writers:
+            proc.start()
+        reader = ResultCache(cache_dir)
+        observed = 0
+        while any(proc.is_alive() for proc in writers):
+            entry = reader.get(key)
+            if entry is None:
+                continue
+            observed += 1
+            # a complete payload from exactly one writer — the atomic
+            # rename never exposes a mix of the two
+            assert entry["key"] == key
+            result = entry["result"]
+            assert result["writer"] in (0, 1)
+            assert 0 <= result["n"] < 40
+            assert result["fill"] == "x" * 256
+            assert entry["spec"] == {"writer": result["writer"]}
+        for proc in writers:
+            proc.join()
+            assert proc.exitcode == 0
+        # no torn read was ever observed: get() evicts corrupt entries
+        # and counts them, so a clean run pins zero invalidations
+        assert reader.stats.invalidations == 0
+        assert observed > 0
+        # last writer wins wholesale: a final put overwrites the key
+        reader.put(key, {"writer": "parent"}, {"writer": "parent"})
+        final = reader.get(key)
+        assert final["result"] == {"writer": "parent"}
+        assert reader.size_stats()["entries"] == 1
